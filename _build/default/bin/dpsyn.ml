@@ -1,0 +1,380 @@
+(* dpsyn — the command-line front end: parse an arithmetic expression with
+   per-input bit-widths/arrival-times/probabilities, synthesize it with a
+   chosen strategy, and report delay/area/power or emit Verilog/DOT.
+
+   Examples:
+     dpsyn synth -e "x^2 + x + y" -v x:8:0.7 -v y:8 --strategy fa_aot
+     dpsyn synth -e "a*c - b*d" -v a:16 -v b:16 -v c:16 -v d:16 \
+           --verilog out.v --check
+     dpsyn compare -e "x + y - z + x*y - y*z + 10" -v x:8 -v y:8 -v z:8
+     dpsyn designs
+     dpsyn design IDCT --strategy csa_opt *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Argument parsing *)
+
+let parse_var_spec spec =
+  (* name:width[:arrival[:prob]] *)
+  match String.split_on_char ':' spec with
+  | [ name; w ] -> Ok (name, int_of_string w, 0.0, 0.5)
+  | [ name; w; t ] -> Ok (name, int_of_string w, float_of_string t, 0.5)
+  | [ name; w; t; p ] ->
+    Ok (name, int_of_string w, float_of_string t, float_of_string p)
+  | _ -> Error (`Msg (spec ^ ": expected name:width[:arrival[:prob]]"))
+
+let var_conv =
+  let parse spec =
+    match parse_var_spec spec with
+    | ok_or_err -> ok_or_err
+    | exception Failure _ ->
+      Error (`Msg (spec ^ ": expected name:width[:arrival[:prob]]"))
+  in
+  let print ppf (name, w, t, p) = Fmt.pf ppf "%s:%d:%g:%g" name w t p in
+  Arg.conv (parse, print)
+
+let expr_conv =
+  let parse s =
+    match Dp_expr.Parse.expr s with
+    | e -> Ok e
+    | exception Dp_expr.Parse.Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Dp_expr.Ast.pp)
+
+let strategy_conv =
+  let parse s =
+    match Dp_flow.Strategy.of_name s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (s ^ ": unknown strategy"))
+  in
+  Arg.conv (parse, Dp_flow.Strategy.pp)
+
+let adder_conv =
+  let parse s =
+    match Dp_adders.Adder.of_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (s ^ ": unknown adder (ripple|cla|carry-select|kogge-stone)"))
+  in
+  Arg.conv (parse, Dp_adders.Adder.pp)
+
+let expr_arg =
+  Arg.(
+    required
+    & opt (some expr_conv) None
+    & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Arithmetic expression (+ - * ^ parens).")
+
+let vars_arg =
+  Arg.(
+    value & opt_all var_conv []
+    & info [ "v"; "var" ] ~docv:"NAME:W[:T[:P]]"
+        ~doc:
+          "Input variable: name, bit-width, optional arrival time (ns) and \
+           1-probability, applied uniformly to all bits.")
+
+let width_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "width" ] ~docv:"W" ~doc:"Output width (default: natural width).")
+
+let strategy_arg ~default =
+  Arg.(
+    value & opt strategy_conv default
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:
+          "Allocation strategy: fa_aot, fa_alp, fa_random, wallace, dadda, \
+           column-isolation, csa_opt, conventional.")
+
+let tech_arg =
+  let tech_conv =
+    let parse path =
+      match Dp_tech.Tech_file.of_file path with
+      | t -> Ok t
+      | exception Dp_tech.Tech_file.Parse_error msg -> Error (`Msg msg)
+      | exception Sys_error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, Dp_tech.Tech.pp)
+  in
+  Arg.(
+    value & opt tech_conv Dp_tech.Tech.lcb_like
+    & info [ "tech" ] ~docv:"FILE"
+        ~doc:"Technology file (key value lines); defaults inherit lcb_like.")
+
+let adder_arg =
+  Arg.(
+    value & opt adder_conv Dp_adders.Adder.Cla
+    & info [ "adder" ] ~docv:"A" ~doc:"Final adder: ripple, cla, carry-select, kogge-stone.")
+
+let recoding_arg =
+  Arg.(
+    value
+    & opt (enum [ ("csd", Dp_bitmatrix.Lower.Csd); ("binary", Dp_bitmatrix.Lower.Binary) ])
+        Dp_bitmatrix.Lower.Csd
+    & info [ "recoding" ] ~doc:"Coefficient recoding: csd or binary.")
+
+let multiplier_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("and-array", Dp_bitmatrix.Lower.And_array);
+             ("booth", Dp_bitmatrix.Lower.Booth) ])
+        Dp_bitmatrix.Lower.And_array
+    & info [ "multiplier" ]
+        ~doc:"Partial products for eligible variable products: and-array or booth.")
+
+let verilog_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "verilog" ] ~docv:"FILE" ~doc:"Write the netlist as Verilog.")
+
+let dot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Write the netlist as Graphviz DOT.")
+
+let testbench_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "testbench" ] ~docv:"FILE"
+        ~doc:"Write DUT + self-checking testbench as one Verilog file.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ] ~doc:"Verify the netlist against the expression on random vectors.")
+
+let cells_arg =
+  Arg.(value & flag & info [ "cells" ] ~doc:"Print every cell with its output arrivals.")
+
+let pipeline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "pipeline" ] ~docv:"T"
+        ~doc:"Report a pipeline plan (latency, register bits) for cycle time T ns.")
+
+(* ------------------------------------------------------------------ *)
+(* Shared actions *)
+
+let env_of_vars expr vars =
+  let env =
+    List.fold_left
+      (fun env (name, width, arrival, prob) ->
+        Dp_expr.Env.add_uniform name ~width ~arrival ~prob env)
+      Dp_expr.Env.empty vars
+  in
+  match Dp_expr.Env.check_covers expr env with
+  | () -> Ok env
+  | exception Invalid_argument msg -> Error msg
+
+let report_result (r : Dp_flow.Synth.result) ~check ~cells ~verilog ~dot
+    ?testbench ?pipeline expr =
+  Fmt.pr "strategy:   %a@." Dp_flow.Strategy.pp r.strategy;
+  Fmt.pr "output:     %s[%d:0]@." r.output (r.width - 1);
+  Fmt.pr "stats:      %a@." Dp_netlist.Stats.pp r.stats;
+  (match r.reduced_max_arrival with
+  | Some t -> Fmt.pr "final adder sees its last input at %.3f ns@." t
+  | None -> ());
+  Fmt.pr "E_switching(tree) = %.4f, E_switching(total) = %.4f@."
+    r.tree_switching r.total_switching;
+  let e = Dp_timing.Sta.critical_endpoint r.netlist in
+  Fmt.pr "critical endpoint: %a@." Dp_timing.Sta.pp_endpoint e;
+  (match pipeline with
+  | Some cycle_time -> (
+    match Dp_pipeline.Pipeline.plan r.netlist ~cycle_time with
+    | p -> Fmt.pr "pipeline:   %a@." Dp_pipeline.Pipeline.pp p
+    | exception Invalid_argument msg -> Fmt.pr "pipeline:   %s@." msg)
+  | None -> ());
+  if cells then Fmt.pr "@.cells:@.%a" Dp_netlist.Stats.pp_cells r.netlist;
+  (match verilog with
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        output_string oc (Dp_netlist.Verilog.emit r.netlist));
+    Fmt.pr "wrote %s@." file
+  | None -> ());
+  (match dot with
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        output_string oc (Dp_netlist.Dot.emit r.netlist));
+    Fmt.pr "wrote %s@." file
+  | None -> ());
+  (match testbench with
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        output_string oc (Dp_sim.Testbench.emit_with_dut r.netlist));
+    Fmt.pr "wrote %s@." file
+  | None -> ());
+  if check then
+    match Dp_flow.Synth.verify ~trials:500 r expr with
+    | Ok () -> Fmt.pr "equivalence check: OK (500 random vectors)@."
+    | Error m ->
+      Fmt.epr "equivalence check FAILED: %a@." Dp_sim.Equiv.pp_mismatch m;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let synth_cmd =
+  let action expr vars width strategy tech adder recoding multiplier_style
+      verilog dot testbench pipeline check cells =
+    match env_of_vars expr vars with
+    | Error msg ->
+      Fmt.epr "error: %s (bind it with -v)@." msg;
+      exit 1
+    | Ok env ->
+      let r =
+        Dp_flow.Synth.run ~tech ~adder
+          ~lower_config:{ recoding; multiplier_style }
+          ?width strategy env expr
+      in
+      report_result r ~check ~cells ~verilog ~dot ?testbench ?pipeline expr
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize one expression")
+    Term.(
+      const action $ expr_arg $ vars_arg $ width_arg
+      $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
+      $ tech_arg $ adder_arg $ recoding_arg $ multiplier_arg $ verilog_arg
+      $ dot_arg $ testbench_arg $ pipeline_arg $ check_arg $ cells_arg)
+
+let compare_cmd =
+  let action expr vars width adder =
+    match env_of_vars expr vars with
+    | Error msg ->
+      Fmt.epr "error: %s (bind it with -v)@." msg;
+      exit 1
+    | Ok env ->
+      let rows =
+        List.map
+          (fun strategy ->
+            let r = Dp_flow.Synth.run ~adder ?width strategy env expr in
+            [
+              Dp_flow.Strategy.name strategy;
+              Dp_flow.Report.ns r.stats.delay;
+              Dp_flow.Report.units r.stats.area;
+              string_of_int r.stats.fa_count;
+              string_of_int r.stats.ha_count;
+              Printf.sprintf "%.3f" r.tree_switching;
+            ])
+          Dp_flow.Strategy.all
+      in
+      Fmt.pr "%s@."
+        (Dp_flow.Report.table
+           ~header:[ "strategy"; "delay"; "area"; "FA"; "HA"; "E(tree)" ]
+           ~rows)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Synthesize with every strategy and tabulate")
+    Term.(const action $ expr_arg $ vars_arg $ width_arg $ adder_arg)
+
+let program_conv =
+  let parse s =
+    match Dp_expr.Parse.program s with
+    | ports -> Ok ports
+    | exception Dp_expr.Parse.Error msg -> Error (`Msg msg)
+  in
+  let print ppf ports =
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any " = ") string Dp_expr.Ast.pp)) ppf ports
+  in
+  Arg.conv (parse, print)
+
+let synth_multi_cmd =
+  let program_arg =
+    Arg.(
+      required
+      & opt (some program_conv) None
+      & info [ "p"; "program" ] ~docv:"PROG"
+          ~doc:
+            "Program: ';'-separated 'name = expr' statements.  Bindings \
+             referenced later are inlined; the rest become output ports.")
+  in
+  let action ports vars strategy adder verilog check =
+    let env =
+      List.fold_left
+        (fun env (name, width, arrival, prob) ->
+          Dp_expr.Env.add_uniform name ~width ~arrival ~prob env)
+        Dp_expr.Env.empty vars
+    in
+    let missing =
+      List.concat_map
+        (fun (_, e) ->
+          List.filter (fun v -> not (Dp_expr.Env.mem v env)) (Dp_expr.Ast.vars e))
+        ports
+    in
+    (match missing with
+    | [] -> ()
+    | v :: _ ->
+      Fmt.epr "error: %s has no binding (bind it with -v)@." v;
+      exit 1);
+    let ports =
+      List.map
+        (fun (name, e) ->
+          { Dp_flow.Synth.name; expr = e; width = Dp_expr.Range.natural_width env e })
+        ports
+    in
+    let r = Dp_flow.Synth.run_multi ~adder strategy env ports in
+    Fmt.pr "outputs:@.";
+    List.iter
+      (fun (p : Dp_flow.Synth.port) ->
+        Fmt.pr "  %s[%d:0] = %a@." p.name (p.width - 1) Dp_expr.Ast.pp p.expr)
+      r.ports;
+    Fmt.pr "stats: %a@." Dp_netlist.Stats.pp r.stats;
+    (match verilog with
+    | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (Dp_netlist.Verilog.emit r.netlist));
+      Fmt.pr "wrote %s@." file
+    | None -> ());
+    if check then
+      match Dp_flow.Synth.verify_multi ~env r with
+      | Ok () -> Fmt.pr "equivalence check: OK (all ports)@."
+      | Error (port, m) ->
+        Fmt.epr "port %s FAILED: %a@." port Dp_sim.Equiv.pp_mismatch m;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "synth-multi"
+       ~doc:"Synthesize a multi-statement program into one netlist")
+    Term.(
+      const action $ program_arg $ vars_arg
+      $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
+      $ adder_arg $ verilog_arg $ check_arg)
+
+let designs_cmd =
+  let action () =
+    List.iter
+      (fun (d : Dp_designs.Design.t) ->
+        Fmt.pr "%-16s W=%-3d %a@.                 %s@." d.name d.width
+          Dp_expr.Ast.pp d.expr d.description)
+      Dp_designs.Catalog.all
+  in
+  Cmd.v (Cmd.info "designs" ~doc:"List the paper's benchmark designs")
+    Term.(const action $ const ())
+
+let design_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let action name strategy adder check cells verilog dot =
+    match Dp_designs.Catalog.find name with
+    | None ->
+      Fmt.epr "unknown design %s; see 'dpsyn designs'@." name;
+      exit 1
+    | Some d ->
+      let r = Dp_flow.Synth.run ~adder ~width:d.width strategy d.env d.expr in
+      Fmt.pr "design: %s — %s@." d.name d.description;
+      report_result r ~check ~cells ~verilog ~dot d.expr
+  in
+  Cmd.v (Cmd.info "design" ~doc:"Synthesize one of the paper's designs")
+    Term.(
+      const action $ name_arg
+      $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
+      $ adder_arg $ check_arg $ cells_arg $ verilog_arg $ dot_arg)
+
+let () =
+  let doc = "fine-grained arithmetic datapath synthesis (DAC 2000 reproduction)" in
+  let info = Cmd.info "dpsyn" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synth_cmd; synth_multi_cmd; compare_cmd; designs_cmd; design_cmd ]))

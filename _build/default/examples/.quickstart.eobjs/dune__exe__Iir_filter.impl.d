@@ -1,0 +1,1 @@
+examples/iir_filter.ml: Dp_designs Dp_expr Dp_flow Dp_netlist Dp_sim Dp_timing Fmt List Out_channel String

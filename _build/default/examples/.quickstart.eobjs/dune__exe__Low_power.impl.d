@@ -1,0 +1,1 @@
+examples/low_power.ml: Dp_designs Dp_flow Dp_sim Fmt List

@@ -1,0 +1,1 @@
+examples/low_power.mli:

@@ -1,0 +1,1 @@
+examples/multi_output.ml: Dp_expr Dp_flow Dp_netlist Dp_sim Fmt List

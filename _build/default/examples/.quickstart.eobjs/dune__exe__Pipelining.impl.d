@@ -1,0 +1,1 @@
+examples/pipelining.ml: Dp_designs Dp_flow Dp_pipeline Fmt List

@@ -1,0 +1,1 @@
+examples/pipelining.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dp_adders Dp_expr Dp_flow Dp_netlist Dp_sim Dp_tech Fmt List

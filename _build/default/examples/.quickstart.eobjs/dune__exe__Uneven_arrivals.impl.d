@@ -1,0 +1,1 @@
+examples/uneven_arrivals.ml: Dp_expr Dp_flow Fmt List

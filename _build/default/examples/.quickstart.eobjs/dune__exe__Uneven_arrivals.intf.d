@@ -1,0 +1,1 @@
+examples/uneven_arrivals.mli:

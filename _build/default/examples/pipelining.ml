@@ -1,0 +1,26 @@
+(* Example: cycle-time exploration.
+
+   Behavioral synthesis fixes a cycle time and pays for speed with pipeline
+   latency and registers.  This example sweeps the cycle time over the
+   FIR8 kernel and prints the latency/register trade-off for the
+   conventional operator tree vs the paper's FA_AOT tree — the bit-level
+   tree is both faster and much cheaper to cut into stages. *)
+
+let () =
+  let d = Dp_designs.Catalog.fir8 in
+  Fmt.pr "design: %s@." d.description;
+  let conv =
+    Dp_flow.Synth.run Dp_flow.Strategy.Conventional d.env d.expr ~width:d.width
+  in
+  let aot = Dp_flow.Synth.run Dp_flow.Strategy.Fa_aot d.env d.expr ~width:d.width in
+  Fmt.pr "combinational delay: conventional %.2f ns, FA_AOT %.2f ns@.@."
+    conv.stats.delay aot.stats.delay;
+  Fmt.pr "%-10s %-22s %s@." "cycle(ns)" "Conventional (lat/regs)" "FA_AOT (lat/regs)";
+  List.iter
+    (fun cycle_time ->
+      let p_conv = Dp_pipeline.Pipeline.plan conv.netlist ~cycle_time in
+      let p_aot = Dp_pipeline.Pipeline.plan aot.netlist ~cycle_time in
+      Fmt.pr "%-10.1f %2d / %-18d %2d / %d@." cycle_time p_conv.latency
+        p_conv.register_bits p_aot.latency p_aot.register_bits)
+    [ 1.0; 1.5; 2.0; 3.0; 5.0; 8.0; 12.0 ];
+  Fmt.pr "@.(registers are pipeline bits; latency of 1 = purely combinational)@."

@@ -1,0 +1,1 @@
+lib/adders/adder.ml: Array Carry_select Cla Dp_netlist Fmt Kogge_stone Netlist Option Ripple

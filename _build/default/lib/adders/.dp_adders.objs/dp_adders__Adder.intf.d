@@ -1,0 +1,1 @@
+lib/adders/adder.mli: Dp_netlist Fmt Netlist

@@ -1,0 +1,1 @@
+lib/adders/carry_select.ml: Array Dp_netlist Netlist

@@ -1,0 +1,1 @@
+lib/adders/carry_select.mli: Dp_netlist Netlist

@@ -1,0 +1,1 @@
+lib/adders/cla.ml: Array Dp_netlist List Netlist

@@ -1,0 +1,1 @@
+lib/adders/cla.mli: Dp_netlist Netlist

@@ -1,0 +1,1 @@
+lib/adders/kogge_stone.ml: Array Dp_netlist Netlist

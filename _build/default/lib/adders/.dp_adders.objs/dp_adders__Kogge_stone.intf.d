@@ -1,0 +1,1 @@
+lib/adders/kogge_stone.mli: Dp_netlist Netlist

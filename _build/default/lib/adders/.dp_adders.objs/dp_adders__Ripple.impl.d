@@ -1,0 +1,1 @@
+lib/adders/ripple.ml: Array Dp_netlist Netlist

@@ -1,0 +1,1 @@
+lib/adders/ripple.mli: Dp_netlist Netlist

@@ -1,0 +1,34 @@
+open Dp_netlist
+
+type kind = Ripple | Cla | Carry_select | Kogge_stone
+
+let all = [ Ripple; Cla; Carry_select; Kogge_stone ]
+
+let name = function
+  | Ripple -> "ripple"
+  | Cla -> "cla"
+  | Carry_select -> "carry-select"
+  | Kogge_stone -> "kogge-stone"
+
+let of_name = function
+  | "ripple" -> Some Ripple
+  | "cla" -> Some Cla
+  | "carry-select" | "carry_select" -> Some Carry_select
+  | "kogge-stone" | "kogge_stone" -> Some Kogge_stone
+  | _ -> None
+
+let pp ppf k = Fmt.string ppf (name k)
+
+let build ?cin kind netlist ~a ~b =
+  match kind with
+  | Ripple -> Ripple.build ?cin netlist ~a ~b
+  | Cla -> Cla.build ?cin netlist ~a ~b
+  | Carry_select -> Carry_select.build ?cin netlist ~a ~b
+  | Kogge_stone -> Kogge_stone.build ?cin netlist ~a ~b
+
+let build_rows kind netlist ~width (row_a, row_b) =
+  let zero = Netlist.const netlist false in
+  let pick row i = if i < Array.length row then Option.value row.(i) ~default:zero else zero in
+  let a = Array.init width (pick row_a) in
+  let b = Array.init width (pick row_b) in
+  build kind netlist ~a ~b

@@ -1,0 +1,24 @@
+(** Final (carry-propagating) adder at the FA-tree root.  The paper leaves
+    its implementation open ("any of several types of modules"); four
+    classic architectures are provided, all built from the same technology
+    cells so timing/power/simulation treat them uniformly. *)
+
+open Dp_netlist
+
+type kind = Ripple | Cla | Carry_select | Kogge_stone
+
+val all : kind list
+val name : kind -> string
+val of_name : string -> kind option
+val pp : kind Fmt.t
+
+(** @raise Invalid_argument on operand width mismatch. *)
+val build :
+  ?cin:Netlist.net -> kind -> Netlist.t ->
+  a:Netlist.net array -> b:Netlist.net array -> Netlist.net array
+
+(** Adapter for [Dp_bitmatrix.Matrix.operand_rows] output: pads the two
+    option rows with constant 0 to [width] and adds them. *)
+val build_rows :
+  kind -> Netlist.t -> width:int ->
+  Netlist.net option array * Netlist.net option array -> Netlist.net array

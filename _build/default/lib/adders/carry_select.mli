@@ -1,0 +1,9 @@
+(** Carry-select adder: 4-bit blocks computing both speculative sums, block
+    carry selecting between them.  Modular (carry-out discarded). *)
+
+open Dp_netlist
+
+(** @raise Invalid_argument on operand width mismatch. *)
+val build :
+  ?cin:Netlist.net -> Netlist.t ->
+  a:Netlist.net array -> b:Netlist.net array -> Netlist.net array

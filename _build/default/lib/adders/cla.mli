@@ -1,0 +1,9 @@
+(** Single-level carry-lookahead adder: 4-bit lookahead groups, carry
+    rippling between groups.  Modular (carry-out discarded). *)
+
+open Dp_netlist
+
+(** @raise Invalid_argument on operand width mismatch. *)
+val build :
+  ?cin:Netlist.net -> Netlist.t ->
+  a:Netlist.net array -> b:Netlist.net array -> Netlist.net array

@@ -1,0 +1,15 @@
+open Dp_netlist
+
+let build ?cin netlist ~a ~b =
+  let width = Array.length a in
+  if Array.length b <> width then invalid_arg "Ripple.build: width mismatch";
+  let sums = Array.make width (Netlist.const netlist false) in
+  let carry =
+    ref (match cin with None -> Netlist.const netlist false | Some c -> c)
+  in
+  for i = 0 to width - 1 do
+    let s, c = Netlist.fa netlist a.(i) b.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  sums

@@ -1,0 +1,9 @@
+(** Ripple-carry adder: a chain of FAs (the first degrades to an HA).
+    Result is modular: same width as the operands, carry-out discarded. *)
+
+open Dp_netlist
+
+(** @raise Invalid_argument on operand width mismatch. *)
+val build :
+  ?cin:Netlist.net -> Netlist.t ->
+  a:Netlist.net array -> b:Netlist.net array -> Netlist.net array

@@ -1,0 +1,1 @@
+lib/baselines/conventional.ml: Array Ast Dp_adders Dp_bitmatrix Dp_core Dp_expr Dp_netlist Env Eval Float Hashtbl List Netlist Option Range Rows

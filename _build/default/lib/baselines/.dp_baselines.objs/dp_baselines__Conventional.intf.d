@@ -1,0 +1,1 @@
+lib/baselines/conventional.mli: Ast Dp_adders Dp_expr Dp_netlist Env Netlist

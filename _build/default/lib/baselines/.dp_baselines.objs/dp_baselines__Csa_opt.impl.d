@@ -1,0 +1,1 @@
+lib/baselines/csa_opt.ml: Array Dp_netlist Float List Netlist Rows

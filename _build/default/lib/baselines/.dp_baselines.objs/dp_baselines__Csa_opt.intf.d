@@ -1,0 +1,1 @@
+lib/baselines/csa_opt.mli: Dp_netlist Netlist Rows

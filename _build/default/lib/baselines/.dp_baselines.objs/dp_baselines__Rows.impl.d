@@ -1,0 +1,1 @@
+lib/baselines/rows.ml: Array Dp_bitmatrix Dp_netlist Float List Matrix Netlist

@@ -1,0 +1,1 @@
+lib/baselines/rows.mli: Dp_bitmatrix Dp_netlist Matrix Netlist

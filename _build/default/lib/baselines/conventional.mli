@@ -1,0 +1,38 @@
+(** The "Conventional" column of the paper's Table 1: two-step RTL + logic
+    synthesis, reconstructed.  Every word-level operation is bound to its
+    own module (a carry-lookahead adder by default; multipliers are
+    self-contained Wallace-compression + CPA modules, or shift-add arrays),
+    and +/- chains are balanced by an arrival-driven greedy — the standard
+    operator-level optimizations.  What this flow {e cannot} do, and the
+    paper's one-step flow can, is merge carry-save redundancy across
+    operations: every intermediate result goes through a carry-propagate
+    adder. *)
+
+open Dp_netlist
+open Dp_expr
+
+type multiplier =
+  | Wallace_cpa  (** per-operation Wallace tree with its own CPA *)
+  | Shift_add  (** row-by-row CPA accumulation *)
+
+type config = {
+  adder : Dp_adders.Adder.kind;
+  multiplier : multiplier;
+  balance : bool;  (** arrival-driven balancing of +/- chains *)
+}
+
+val default_config : config
+
+(** Pow nodes expanded to balanced multiplication trees. *)
+val expand_pow : Ast.t -> Ast.t
+
+(** Chains of additions/subtractions as signed terms. *)
+val flatten_sum : Ast.t -> (int * Ast.t) list
+
+(** Synthesize [expr] into [netlist]; returns the output bus (width
+    [width], value = expr mod 2^width).  Declares the inputs itself.
+    Structurally identical subexpressions share one module (resource
+    sharing).  @raise Invalid_argument on unbound variables. *)
+val synthesize :
+  ?config:config -> Netlist.t -> Env.t -> Ast.t -> width:int ->
+  Netlist.net array

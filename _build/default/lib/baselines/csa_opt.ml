@@ -1,0 +1,57 @@
+open Dp_netlist
+
+(* One word-level 3:2 carry-save adder: an FA (or HA) per populated bit
+   position, producing a sum row and a carry row.  The whole word is one
+   module — individual bits cannot migrate between operands, which is
+   exactly the restriction the paper's bit-level scheme lifts. *)
+let csa netlist ~width (r1 : Rows.row) (r2 : Rows.row) (r3 : Rows.row) =
+  let sum_row = Array.make width None in
+  let carry_row = Array.make width None in
+  for j = 0 to width - 1 do
+    let bits =
+      List.filter_map (fun (r : Rows.row) -> r.(j)) [ r1; r2; r3 ]
+    in
+    let put_carry c =
+      if j + 1 < width then carry_row.(j + 1) <- Some c
+    in
+    match bits with
+    | [] -> ()
+    | [ a ] -> sum_row.(j) <- Some a
+    | [ a; b ] ->
+      let s, c = Netlist.ha netlist a b in
+      sum_row.(j) <- Some s;
+      put_carry c
+    | [ a; b; c ] ->
+      let s, carry = Netlist.fa netlist a b c in
+      sum_row.(j) <- Some s;
+      put_carry carry
+    | _ :: _ :: _ :: _ :: _ -> assert false
+  done;
+  sum_row, carry_row
+
+let take_earliest netlist rows =
+  let sorted =
+    List.sort
+      (fun a b -> Float.compare (Rows.ready_time netlist a) (Rows.ready_time netlist b))
+      rows
+  in
+  match sorted with
+  | r1 :: r2 :: r3 :: rest -> r1, r2, r3, rest
+  | [] | [ _ ] | [ _; _ ] -> invalid_arg "Csa_opt.take_earliest: fewer than 3 rows"
+
+let allocate netlist ~width rows =
+  (* Delay-oriented word-level CSA-tree allocation in the spirit of the
+     authors' CSA_OPT [8]: while at least three operands remain, combine
+     the three with the earliest ready times (a word-level Huffman greedy,
+     the direct analogue of SC_T one level up). *)
+  let rec go rows =
+    match rows with
+    | [] -> Array.make width None, Array.make width None
+    | [ r ] -> r, Array.make width None
+    | [ r1; r2 ] -> r1, r2
+    | _ :: _ :: _ :: _ ->
+      let r1, r2, r3, rest = take_earliest netlist rows in
+      let sum_row, carry_row = csa netlist ~width r1 r2 r3 in
+      go (sum_row :: carry_row :: rest)
+  in
+  go rows

@@ -1,0 +1,15 @@
+(** Reconstruction of CSA_OPT [8] (Um, Kim, Liu, ICCAD'99): delay-optimal
+    allocation of {e word-level} carry-save adders.  Operands are whole
+    rows; each 3:2 compression instantiates an FA/HA per populated bit.
+    Because selection happens at word granularity, uneven per-bit arrival
+    profiles inside a word cannot be exploited — the gap FA_AOT closes. *)
+
+open Dp_netlist
+
+(** One word-level 3:2 CSA step. *)
+val csa :
+  Netlist.t -> width:int -> Rows.row -> Rows.row -> Rows.row ->
+  Rows.row * Rows.row
+
+(** Reduce the operand rows to the two rows feeding the final adder. *)
+val allocate : Netlist.t -> width:int -> Rows.row list -> Rows.row * Rows.row

@@ -1,0 +1,53 @@
+open Dp_netlist
+open Dp_bitmatrix
+
+type row = Netlist.net option array
+
+let of_matrix ~width matrix =
+  (* Greedy first-fit packing of the matrix's addends into word-level rows
+     (each row holds at most one addend per weight).  For a plain
+     multiplication this recovers the usual partial-product rows; for a
+     general expression it manufactures the vector operands a word-level
+     CSA allocator needs. *)
+  let rows = ref [] in
+  for j = 0 to min (width - 1) (Matrix.width matrix - 1) do
+    List.iter
+      (fun net ->
+        let rec place = function
+          | [] ->
+            let row = Array.make width None in
+            row.(j) <- Some net;
+            rows := !rows @ [ row ]
+          | row :: rest ->
+            if row.(j) = None then row.(j) <- Some net else place rest
+        in
+        place !rows)
+      (Matrix.column matrix j)
+  done;
+  !rows
+
+let ready_time netlist (row : row) =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | None -> acc
+      | Some net -> Float.max acc (Netlist.arrival netlist net))
+    0.0 row
+
+let bit_count (row : row) =
+  Array.fold_left
+    (fun acc slot -> match slot with None -> acc | Some _ -> acc + 1)
+    0 row
+
+let to_matrix ~width rows =
+  let matrix = Matrix.create ~max_width:width () in
+  List.iter
+    (fun (row : row) ->
+      Array.iteri
+        (fun j slot ->
+          match slot with
+          | None -> ()
+          | Some net -> Matrix.add matrix ~weight:j net)
+        row)
+    rows;
+  matrix

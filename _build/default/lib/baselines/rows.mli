@@ -1,0 +1,19 @@
+(** Word-level operand rows — the granularity at which CSA_OPT [8] works.
+    A row is a vector with at most one addend bit per weight. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+type row = Netlist.net option array
+
+(** First-fit packing of a (possibly unreduced) matrix into rows. *)
+val of_matrix : width:int -> Matrix.t -> row list
+
+(** Latest bit arrival of the row (0.0 when empty) — a word-level allocator
+    sees whole operands, not individual bits. *)
+val ready_time : Netlist.t -> row -> float
+
+val bit_count : row -> int
+
+(** Inverse of {!of_matrix}. *)
+val to_matrix : width:int -> row list -> Matrix.t

@@ -1,0 +1,1 @@
+lib/bitmatrix/booth.ml: Array Dp_netlist Matrix Netlist

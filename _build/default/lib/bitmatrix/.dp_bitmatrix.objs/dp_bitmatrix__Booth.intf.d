@@ -1,0 +1,1 @@
+lib/bitmatrix/booth.mli: Dp_netlist Matrix Netlist

@@ -1,0 +1,1 @@
+lib/bitmatrix/lower.ml: Array Ast Booth Csd Dp_expr Dp_netlist Env Eval Int List Map Matrix Netlist Option Printf Sop Stdlib String

@@ -1,0 +1,1 @@
+lib/bitmatrix/lower.mli: Ast Dp_expr Dp_netlist Env Matrix Netlist

@@ -1,0 +1,1 @@
+lib/bitmatrix/matrix.ml: Array Dp_netlist Fmt List Netlist

@@ -1,0 +1,1 @@
+lib/bitmatrix/matrix.mli: Dp_netlist Fmt Netlist

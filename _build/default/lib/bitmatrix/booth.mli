@@ -1,0 +1,22 @@
+(** Radix-4 (modified) Booth partial-product generation for unsigned
+    operands — the classic alternative to the AND-array: about half as many
+    rows at the cost of selector logic, profitable for wide multipliers.
+
+    Not part of the paper (which assumes plain bit addends) but the natural
+    companion optimization; {!Lower} can route eligible products here via
+    its [multiplier_style] configuration, and the ablation bench measures
+    the trade-off. *)
+
+open Dp_netlist
+
+(** Number of radix-4 digits needed for an unsigned m-bit multiplier. *)
+val digit_count : int -> int
+
+(** Add the addends denoting [multiplicand * multiplier * 2^shift]
+    (negated when [negate]) to the matrix.  Returns the compile-time
+    constant correction the caller must add to its constant accumulator
+    (always <= 0; already truncated to the matrix's width cap).
+    @raise Invalid_argument on an empty operand. *)
+val lower_product :
+  ?negate:bool -> ?shift:int -> Netlist.t -> Matrix.t ->
+  multiplicand:Netlist.net array -> multiplier:Netlist.net array -> int

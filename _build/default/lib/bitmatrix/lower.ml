@@ -1,0 +1,145 @@
+open Dp_netlist
+open Dp_expr
+
+type recoding = Csd | Binary
+
+type multiplier_style = And_array | Booth
+
+type config = { recoding : recoding; multiplier_style : multiplier_style }
+
+let default_config = { recoding = Csd; multiplier_style = And_array }
+
+(* Declare the expression's variables as primary inputs, reusing buses that
+   an earlier lowering into the same netlist already declared — this is
+   what lets several outputs share one netlist (and, through the builder's
+   structural hashing, their partial products). *)
+let declare_inputs netlist env expr =
+  let existing = Netlist.inputs netlist in
+  List.map
+    (fun v ->
+      match List.assoc_opt v existing with
+      | Some nets ->
+        if Array.length nets <> Env.width v env then
+          invalid_arg
+            (Printf.sprintf "Lower.declare_inputs: %s redeclared at a different width" v);
+        (v, nets)
+      | None ->
+        let info = Env.find v env in
+        ( v,
+          Netlist.add_input netlist v ~width:info.width ~arrival:info.arrival
+            ~prob:info.prob ))
+    (Ast.vars expr)
+
+module Support_map = Map.Make (struct
+  type t = Netlist.net list
+
+  let compare = Stdlib.compare
+end)
+
+(* Lowering strategy (DESIGN.md Sec. 5): normalize to sum-of-products, then
+   expand every monomial into bit-level partial products.  A tuple choosing
+   bit i_k from each factor contributes coeff * 2^(Σ i_k) times the AND of
+   the chosen bits.  Tuples are accumulated per *support* (the deduplicated
+   literal set), so x_i*x_i collapses to x_i and the symmetric pair
+   x_i*x_j + x_j*x_i becomes a single addend one column to the left — the
+   classic squarer folding, obtained here for free and globally across
+   monomials.  Each support's accumulated integer multiplier is then recoded
+   (CSD by default) into few signed power-of-two digits; negative digits
+   lower as complemented addends with a constant correction, and every
+   constant is pre-summed into a single K whose bits enter the matrix. *)
+let lower ?(config = default_config) netlist env expr ~width =
+  if width < 1 || width > 62 then invalid_arg "Lower.lower: width out of [1,62]";
+  Env.check_covers expr env;
+  let inputs = declare_inputs netlist env expr in
+  let bit v i = (List.assoc v inputs).(i) in
+  let sop = Sop.of_expr expr in
+  let table = ref Support_map.empty in
+  let add_support supp m =
+    if m <> 0 then
+      table :=
+        Support_map.update supp
+          (fun prev ->
+            let v = Option.value prev ~default:0 + m in
+            if v = 0 then None else Some v)
+          !table
+  in
+  let expand_monomial mono coeff =
+    (* [sign] tracks the product of per-bit signs: the MSB of a signed
+       (two's-complement) factor carries weight -2^(w-1), which makes the
+       Baugh-Wooley signed partial products fall out of the same
+       signed-digit machinery as subtraction. *)
+    let rec enum factors sign supp weight =
+      if weight < width then
+        match factors with
+        | [] ->
+          add_support (List.sort_uniq Int.compare supp)
+            (sign * coeff * (1 lsl weight))
+        | v :: rest ->
+          let info = Env.find v env in
+          for i = 0 to info.width - 1 do
+            let bit_sign = if info.signed && i = info.width - 1 then -1 else 1 in
+            enum rest (sign * bit_sign) (bit v i :: supp) (weight + i)
+          done
+    in
+    enum mono 1 [] 0
+  in
+  let matrix = Matrix.create ~max_width:width () in
+  let k = ref 0 in
+  (* With the Booth style, products of two distinct unsigned variables with
+     a +/-1 coefficient use radix-4 Booth rows; everything else goes
+     through the AND-array support table. *)
+  let booth_eligible mono coeff =
+    config.multiplier_style = Booth
+    && abs coeff = 1
+    &&
+    match mono with
+    | [ u; v ] ->
+      (not (String.equal u v))
+      && (not (Env.find u env).signed)
+      && not (Env.find v env).signed
+    | [] | [ _ ] | _ :: _ :: _ -> false
+  in
+  List.iter
+    (fun (mono, coeff) ->
+      if booth_eligible mono coeff then
+        match mono with
+        | [ u; v ] ->
+          (* recode over the wider operand: fewer digit rows *)
+          let wu = Env.width u env and wv = Env.width v env in
+          let multiplicand, multiplier = if wu >= wv then u, v else v, u in
+          k :=
+            !k
+            + Booth.lower_product ~negate:(coeff < 0) netlist matrix
+                ~multiplicand:(List.assoc multiplicand inputs)
+                ~multiplier:(List.assoc multiplier inputs)
+        | [] | [ _ ] | _ :: _ :: _ -> assert false
+      else expand_monomial mono coeff)
+    (Sop.terms sop);
+  Support_map.iter
+    (fun supp m ->
+      match supp with
+      | [] -> k := !k + m
+      | _ ->
+        let digits =
+          match config.recoding with
+          | Csd -> Csd.recode m
+          | Binary -> Csd.binary m
+        in
+        List.iter
+          (fun (d : Csd.digit) ->
+            if d.weight < width then
+              let net = Netlist.and_n netlist supp in
+              if d.sign > 0 then Matrix.add matrix ~weight:d.weight net
+              else begin
+                (* -b*2^w  =  ~b*2^w - 2^w *)
+                Matrix.add matrix ~weight:d.weight (Netlist.not_ netlist net);
+                k := !k - (1 lsl d.weight)
+              end)
+          digits)
+    !table;
+  let k_bits = !k land Eval.mask width in
+  for j = 0 to width - 1 do
+    if (k_bits lsr j) land 1 = 1 then
+      Matrix.add matrix ~weight:j (Netlist.const netlist true)
+  done;
+  matrix

@@ -1,0 +1,99 @@
+open Dp_netlist
+
+type t = {
+  mutable columns : Netlist.net list array;  (* index = bit weight, LSB at 0 *)
+  max_width : int option;
+}
+
+let create ?max_width () =
+  (match max_width with
+  | Some w when w < 1 -> invalid_arg "Matrix.create: max_width must be >= 1"
+  | Some _ | None -> ());
+  { columns = Array.make (match max_width with Some w -> w | None -> 8) []; max_width }
+
+let max_width t = t.max_width
+
+let grow t weight =
+  let n = Array.length t.columns in
+  if weight >= n then begin
+    let columns = Array.make (max (weight + 1) (2 * n)) [] in
+    Array.blit t.columns 0 columns 0 n;
+    t.columns <- columns
+  end
+
+let in_range t weight =
+  match t.max_width with Some w -> weight < w | None -> true
+
+let add t ~weight net =
+  if weight < 0 then invalid_arg "Matrix.add: negative weight";
+  if in_range t weight then begin
+    grow t weight;
+    t.columns.(weight) <- net :: t.columns.(weight)
+  end
+
+let width t =
+  let n = Array.length t.columns in
+  let rec last i = if i < 0 then 0 else if t.columns.(i) <> [] then i + 1 else last (i - 1) in
+  last (n - 1)
+
+let column t j =
+  if j < 0 then invalid_arg "Matrix.column: negative index";
+  if j >= Array.length t.columns then [] else List.rev t.columns.(j)
+
+let set_column t j nets =
+  if j < 0 then invalid_arg "Matrix.set_column: negative index";
+  if in_range t j then begin
+    grow t j;
+    t.columns.(j) <- List.rev nets
+  end
+  else if nets <> [] then invalid_arg "Matrix.set_column: beyond max_width"
+
+let height t =
+  Array.fold_left (fun acc col -> max acc (List.length col)) 0 t.columns
+
+let total_addends t =
+  Array.fold_left (fun acc col -> acc + List.length col) 0 t.columns
+
+let is_reduced t =
+  Array.for_all (fun col -> List.length col <= 2) t.columns
+
+let operand_rows t =
+  let w = width t in
+  let a = Array.make (max w 1) None and b = Array.make (max w 1) None in
+  for j = 0 to w - 1 do
+    match column t j with
+    | [] -> ()
+    | [ x ] -> a.(j) <- Some x
+    | [ x; y ] ->
+      a.(j) <- Some x;
+      b.(j) <- Some y
+    | _ -> invalid_arg "Matrix.operand_rows: matrix is not reduced"
+  done;
+  a, b
+
+let value t values =
+  let acc = ref 0 in
+  Array.iteri
+    (fun weight col ->
+      List.iter
+        (fun net -> if values.(net) then acc := !acc + (1 lsl weight))
+        col)
+    t.columns;
+  !acc
+
+let pp_dots ppf t =
+  (* the paper's dot-diagram view: one line per row, MSB column left *)
+  let w = width t in
+  let h = max (height t) 1 in
+  for row = 0 to h - 1 do
+    for j = w - 1 downto 0 do
+      let mark = if List.length (column t j) > row then "o" else "." in
+      Fmt.pf ppf "%s%s" mark (if j = 0 then "" else " ")
+    done;
+    if row < h - 1 then Fmt.pf ppf "@\n"
+  done
+
+let pp_shape ppf t =
+  let w = width t in
+  let counts = List.init w (fun j -> List.length (column t (w - 1 - j))) in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") int) counts

@@ -1,0 +1,54 @@
+(** The addend matrix (paper Sec. 2.1): column [j] is the multiset of
+    single-bit addends of weight 2^j.  The sum the matrix denotes is
+    Σ_j Σ_{net ∈ column j} net · 2^j, and every reduction step (replacing
+    three addends by an FA's sum and carry) preserves that value.
+
+    When [max_width] is set the matrix is modular: addends at weights >= W
+    are silently discarded, realizing arithmetic mod 2^W. *)
+
+open Dp_netlist
+
+type t
+
+(** @raise Invalid_argument when [max_width < 1]. *)
+val create : ?max_width:int -> unit -> t
+
+val max_width : t -> int option
+
+(** @raise Invalid_argument on a negative weight. *)
+val add : t -> weight:int -> Netlist.net -> unit
+
+(** Index of the last non-empty column + 1 (0 when empty). *)
+val width : t -> int
+
+(** Addends of column [j] in insertion order; empty beyond {!width}.
+    @raise Invalid_argument on a negative index. *)
+val column : t -> int -> Netlist.net list
+
+(** Replace a column's contents.
+    @raise Invalid_argument on a negative index or on placing addends beyond
+    [max_width]. *)
+val set_column : t -> int -> Netlist.net list -> unit
+
+(** Largest column population. *)
+val height : t -> int
+
+val total_addends : t -> int
+
+(** True iff every column holds at most two addends. *)
+val is_reduced : t -> bool
+
+(** The two final operand rows of a reduced matrix, position [j] holding
+    column [j]'s first/second addend (or [None]).
+    @raise Invalid_argument if some column still has more than two. *)
+val operand_rows : t -> Netlist.net option array * Netlist.net option array
+
+(** Denoted sum under a simulation valuation (index = net id). *)
+val value : t -> bool array -> int
+
+(** Dot-diagram view (one mark per addend, MSB column left) — the paper's
+    addend-matrix figures. *)
+val pp_dots : t Fmt.t
+
+(** Column populations, MSB first — handy in tests and examples. *)
+val pp_shape : t Fmt.t

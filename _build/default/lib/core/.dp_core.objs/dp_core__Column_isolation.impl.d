@@ -1,0 +1,1 @@
+lib/core/column_isolation.ml: Dp_netlist Dp_tech Float Int List Netlist Reduce

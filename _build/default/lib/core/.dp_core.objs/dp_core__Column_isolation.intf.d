@@ -1,0 +1,1 @@
+lib/core/column_isolation.mli: Dp_bitmatrix Dp_netlist Matrix Netlist

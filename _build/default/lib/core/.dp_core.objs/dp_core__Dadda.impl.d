@@ -1,0 +1,1 @@
+lib/core/dadda.ml: Dp_bitmatrix Dp_netlist List Matrix Netlist

@@ -1,0 +1,1 @@
+lib/core/dadda.mli: Dp_bitmatrix Dp_netlist Matrix Netlist

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Dp_bitmatrix Dp_netlist Dp_tech Float Hashtbl List Matrix Netlist

@@ -1,0 +1,1 @@
+lib/core/fa_alp.ml: Reduce Sc_lp

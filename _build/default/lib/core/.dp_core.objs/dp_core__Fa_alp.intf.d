@@ -1,0 +1,1 @@
+lib/core/fa_alp.mli: Dp_bitmatrix Dp_netlist Matrix Netlist Sc_lp

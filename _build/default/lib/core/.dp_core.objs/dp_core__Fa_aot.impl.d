@@ -1,0 +1,1 @@
+lib/core/fa_aot.ml: Reduce Sc_t

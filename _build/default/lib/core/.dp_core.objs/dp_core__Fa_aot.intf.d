@@ -1,0 +1,1 @@
+lib/core/fa_aot.mli: Dp_bitmatrix Dp_netlist Matrix Netlist Sc_t

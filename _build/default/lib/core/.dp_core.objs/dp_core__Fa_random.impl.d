@@ -1,0 +1,1 @@
+lib/core/fa_random.ml: Random Reduce Sc_random

@@ -1,0 +1,1 @@
+lib/core/fa_random.mli: Dp_bitmatrix Dp_netlist Matrix Netlist

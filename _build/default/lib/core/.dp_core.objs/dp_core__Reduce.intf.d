@@ -1,0 +1,1 @@
+lib/core/reduce.mli: Dp_bitmatrix Dp_netlist Matrix Netlist

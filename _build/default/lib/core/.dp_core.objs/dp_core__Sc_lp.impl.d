@@ -1,0 +1,1 @@
+lib/core/sc_lp.ml: Dp_netlist Float Int List Netlist

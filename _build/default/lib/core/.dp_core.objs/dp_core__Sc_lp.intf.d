@@ -1,0 +1,1 @@
+lib/core/sc_lp.mli: Dp_netlist Netlist

@@ -1,0 +1,1 @@
+lib/core/sc_random.ml: Array Dp_netlist List Netlist Random

@@ -1,0 +1,1 @@
+lib/core/sc_random.mli: Dp_netlist Netlist Random

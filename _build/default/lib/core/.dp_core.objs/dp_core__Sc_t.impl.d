@@ -1,0 +1,1 @@
+lib/core/sc_t.ml: Dp_netlist Float Int List Netlist

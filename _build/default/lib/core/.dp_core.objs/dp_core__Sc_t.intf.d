@@ -1,0 +1,1 @@
+lib/core/sc_t.mli: Dp_netlist Netlist

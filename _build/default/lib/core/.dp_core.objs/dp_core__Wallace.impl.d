@@ -1,0 +1,1 @@
+lib/core/wallace.ml: Array Dp_bitmatrix Dp_netlist List Matrix Netlist

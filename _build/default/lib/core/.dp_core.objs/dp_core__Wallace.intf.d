@@ -1,0 +1,1 @@
+lib/core/wallace.mli: Dp_bitmatrix Dp_netlist Matrix Netlist

@@ -1,0 +1,13 @@
+(** The "column-isolation" strategy of the paper's Fig. 2(b): arrival-driven
+    selection, but restricted to the column's original (input) addends —
+    intermediate sums are not reconsidered.  Sits between Wallace and the
+    full column-interaction of SC_T; kept to reproduce Fig. 2. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+val reduce_column :
+  Netlist.t -> Netlist.net list -> Netlist.net list * Netlist.net list
+
+(** Reduce [matrix] in place to two rows. *)
+val allocate : Netlist.t -> Matrix.t -> unit

@@ -1,0 +1,58 @@
+open Dp_netlist
+open Dp_bitmatrix
+
+(* Dadda's sequence d_1 = 2, d_{k+1} = floor(1.5 d_k): the target heights
+   2, 3, 4, 6, 9, 13, 19, 28, ...  [next_target h] is the largest member
+   strictly below h (the next stage's goal), except 2 for h <= 2. *)
+let next_target height =
+  let rec go d = if d * 3 / 2 >= height then d else go (d * 3 / 2) in
+  if height <= 2 then 2 else go 2
+
+(* Reduce one pool to [target] members with the classic minimal rule: an HA
+   when exactly one above target, an FA otherwise; fixed (listed) order. *)
+let shrink netlist ~target pool =
+  let rec go pool carries =
+    let n = List.length pool in
+    if n <= target then pool, List.rev carries
+    else
+      match pool with
+      | x :: y :: z :: rest when n > target + 1 ->
+        let sum, carry = Netlist.fa netlist x y z in
+        go (rest @ [ sum ]) (carry :: carries)
+      | x :: y :: rest ->
+        let sum, carry = Netlist.ha netlist x y in
+        go (rest @ [ sum ]) (carry :: carries)
+      | [ _ ] | [] -> pool, List.rev carries
+  in
+  go pool []
+
+let allocate netlist matrix =
+  let in_range j =
+    match Matrix.max_width matrix with Some w -> j < w | None -> true
+  in
+  let rec stages () =
+    let height = Matrix.height matrix in
+    if height > 2 then begin
+      let target = next_target height in
+      (* Columns are processed rightmost first; carries produced in this
+         stage count against the next column's target within the same
+         stage (Dadda's accounting). *)
+      let carries_in = ref [] in
+      let j = ref 0 in
+      while !j < Matrix.width matrix || !carries_in <> [] do
+        if in_range !j then begin
+          let col = Matrix.column matrix !j @ !carries_in in
+          let kept, carries_out = shrink netlist ~target col in
+          Matrix.set_column matrix !j kept;
+          carries_in := carries_out
+        end
+        else
+          (* modular matrix: addends at weights >= W vanish *)
+          carries_in := [];
+        incr j
+      done;
+      stages ()
+    end
+  in
+  stages ();
+  assert (Matrix.is_reduced matrix)

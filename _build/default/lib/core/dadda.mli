@@ -1,0 +1,10 @@
+(** Dadda-style minimal compression — a second fixed-structure baseline.
+    Each stage reduces every column to the next Dadda target height
+    (…, 9, 6, 4, 3, 2) using as few FAs/HAs as possible, counting
+    same-stage carries toward the receiving column's target. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+(** Reduce [matrix] in place to two rows. *)
+val allocate : Netlist.t -> Matrix.t -> unit

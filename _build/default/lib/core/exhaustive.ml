@@ -1,0 +1,197 @@
+open Dp_netlist
+open Dp_bitmatrix
+
+(* Exhaustive delay-optimal FA-tree allocation for small matrices.
+
+   The search walks the same column-sequential space as FA_AOT (Condition 1
+   of the paper) but considers EVERY choice of FA inputs, and at three
+   remaining addends both the paper's HA finish and a 3-input FA.  It
+   minimizes the latest signal of the reduced matrix — the objective of the
+   paper's modified Problem 1 — by branch-and-bound on a pure timing model,
+   then replays the winning decision sequence onto the netlist.
+
+   Purpose: measuring exactly how close the greedy FA_AOT gets (Theorem 1
+   claims optimality; EXPERIMENTS.md documents the rare Dc-bounded gap).
+   The space is exponential, so the matrix size is capped.
+
+   Items are identified by uid: the matrix's addends get 0..n-1 in
+   column-major order, and every decision mints two fresh uids (sum, then
+   carry) in plan order — identically during search and replay. *)
+
+exception Too_large
+
+type item = { time : float; uid : int }
+
+type decision =
+  | Fa3 of int * int * int
+  | Ha2 of int * int
+
+(* All ways to choose k items from a list, with the complement. *)
+let rec choose k items =
+  if k = 0 then [ ([], items) ]
+  else
+    match items with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun (p, o) -> (x :: p, o)) (choose (k - 1) rest)
+      @ List.map (fun (p, o) -> (p, x :: o)) (choose k rest)
+
+let max_time items =
+  List.fold_left (fun acc i -> Float.max acc i.time) neg_infinity items
+
+(* Enumerate the reduction paths of one column: from [pool], explore every
+   decision sequence reaching <= 2 items; call [k] with the kept items, the
+   carries, the decisions (in execution order) and the next fresh uid. *)
+let rec reduce_paths (tech : Dp_tech.Tech.t) pool carries decisions next_uid k =
+  if List.length pool <= 2 then k pool carries (List.rev decisions) next_uid
+  else begin
+    List.iter
+      (fun (picked, others) ->
+        match picked with
+        | [ a; b; c ] ->
+          let tmax = Float.max a.time (Float.max b.time c.time) in
+          let sum = { time = tmax +. tech.fa_sum_delay; uid = next_uid } in
+          let carry = { time = tmax +. tech.fa_carry_delay; uid = next_uid + 1 } in
+          reduce_paths tech (sum :: others) (carry :: carries)
+            (Fa3 (a.uid, b.uid, c.uid) :: decisions)
+            (next_uid + 2) k
+        | [] | [ _ ] | [ _; _ ] | _ :: _ :: _ :: _ :: _ -> assert false)
+      (choose 3 pool);
+    if List.length pool = 3 then
+      List.iter
+        (fun (picked, others) ->
+          match picked with
+          | [ a; b ] ->
+            let tmax = Float.max a.time b.time in
+            let sum = { time = tmax +. tech.ha_sum_delay; uid = next_uid } in
+            let carry = { time = tmax +. tech.ha_carry_delay; uid = next_uid + 1 } in
+            k (sum :: others) (carry :: carries)
+              (List.rev (Ha2 (a.uid, b.uid) :: decisions))
+              (next_uid + 2)
+          | [] | [ _ ] | _ :: _ :: _ -> assert false)
+        (choose 2 pool)
+  end
+
+(* Depth-first search over the columns (rightmost first, carries feeding
+   the next column) with branch-and-bound on the running kept maximum.
+   Returns the optimal reduced-matrix arrival and its per-column plan. *)
+let search tech columns ~first_uid =
+  let best = ref infinity in
+  let best_plan = ref None in
+  let rec go columns running_max plan next_uid =
+    if running_max < !best then
+      match columns with
+      | [] ->
+        best := running_max;
+        best_plan := Some (List.rev plan)
+      | col :: rest ->
+        reduce_paths tech col [] [] next_uid
+          (fun kept carries decisions next_uid ->
+            let kept_max = Float.max running_max (max_time kept) in
+            if kept_max < !best then
+              let rest =
+                match rest, carries with
+                | [], [] -> []
+                | [], _ :: _ -> [ carries ]
+                | next :: others, _ -> (carries @ next) :: others
+              in
+              go rest kept_max (decisions :: plan) next_uid)
+  in
+  go columns neg_infinity [] first_uid;
+  match !best_plan with
+  | Some plan -> !best, plan
+  | None -> assert false
+
+let default_max_addends = 12
+
+let allocate ?(max_addends = default_max_addends) netlist matrix =
+  if Matrix.total_addends matrix > max_addends then raise Too_large;
+  let tech = Netlist.tech netlist in
+  let net_of_uid = Hashtbl.create 32 in
+  let next = ref 0 in
+  let columns =
+    List.init (Matrix.width matrix) (fun j ->
+        List.map
+          (fun net ->
+            let uid = !next in
+            incr next;
+            Hashtbl.replace net_of_uid uid net;
+            { time = Netlist.arrival netlist net; uid })
+          (Matrix.column matrix j))
+  in
+  let _optimal, plan = search tech columns ~first_uid:!next in
+  (* replay the plan, minting uids in the same order the search did *)
+  let fresh = ref !next in
+  let pools = ref (List.map (List.map (fun i -> i.uid)) columns) in
+  let final_columns = ref [] in
+  List.iter
+    (fun decisions ->
+      let pool, rest =
+        match !pools with [] -> [], [] | p :: r -> p, r
+      in
+      let pool = ref pool and carries = ref [] in
+      List.iter
+        (fun d ->
+          let consume uid = pool := List.filter (fun u -> u <> uid) !pool in
+          let mint net =
+            let uid = !fresh in
+            incr fresh;
+            Hashtbl.replace net_of_uid uid net;
+            uid
+          in
+          match d with
+          | Fa3 (a, b, c) ->
+            let s, co =
+              Netlist.fa netlist (Hashtbl.find net_of_uid a)
+                (Hashtbl.find net_of_uid b)
+                (Hashtbl.find net_of_uid c)
+            in
+            consume a;
+            consume b;
+            consume c;
+            pool := mint s :: !pool;
+            carries := mint co :: !carries
+          | Ha2 (a, b) ->
+            let s, co =
+              Netlist.ha netlist (Hashtbl.find net_of_uid a)
+                (Hashtbl.find net_of_uid b)
+            in
+            consume a;
+            consume b;
+            pool := mint s :: !pool;
+            carries := mint co :: !carries)
+        decisions;
+      final_columns := !pool :: !final_columns;
+      pools :=
+        (match rest, !carries with
+        | [], [] -> []
+        | [], _ :: _ -> [ !carries ]
+        | next_col :: others, _ -> (!carries @ next_col) :: others))
+    plan;
+  (* write the reduced columns back (modular truncation applies) *)
+  let in_range j =
+    match Matrix.max_width matrix with Some w -> j < w | None -> true
+  in
+  List.iteri
+    (fun j kept ->
+      if in_range j then
+        Matrix.set_column matrix j
+          (List.map (Hashtbl.find net_of_uid) kept))
+    (List.rev !final_columns);
+  assert (Matrix.is_reduced matrix)
+
+let optimal_arrival ?(max_addends = default_max_addends) netlist matrix =
+  (* the optimum without building anything — for comparisons *)
+  if Matrix.total_addends matrix > max_addends then raise Too_large;
+  let tech = Netlist.tech netlist in
+  let next = ref 0 in
+  let columns =
+    List.init (Matrix.width matrix) (fun j ->
+        List.map
+          (fun net ->
+            let uid = !next in
+            incr next;
+            { time = Netlist.arrival netlist net; uid })
+          (Matrix.column matrix j))
+  in
+  fst (search tech columns ~first_uid:!next)

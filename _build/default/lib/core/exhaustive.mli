@@ -1,0 +1,22 @@
+(** Exhaustive delay-optimal FA-tree allocation for small matrices.
+
+    Explores the full column-sequential allocation space (every FA input
+    choice; both HA and 3-input-FA finishes) by branch-and-bound on a pure
+    timing model, then replays the optimal plan onto the netlist.  Exists
+    to quantify how close the greedy FA_AOT gets to the true optimum of the
+    paper's modified Problem 1 — see EXPERIMENTS.md. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+exception Too_large
+
+val default_max_addends : int
+
+(** Reduce [matrix] in place, delay-optimally.
+    @raise Too_large beyond [max_addends] total addends. *)
+val allocate : ?max_addends:int -> Netlist.t -> Matrix.t -> unit
+
+(** The optimal reduced-matrix arrival, without modifying anything.
+    @raise Too_large beyond [max_addends] total addends. *)
+val optimal_arrival : ?max_addends:int -> Netlist.t -> Matrix.t -> float

@@ -1,0 +1,4 @@
+
+let allocate ?(tie_break = Sc_lp.Q_only) netlist matrix =
+  Reduce.sweep netlist matrix
+    ~reducer:(fun netlist col -> Sc_lp.reduce_column ~tie_break netlist col)

@@ -1,0 +1,9 @@
+(** Algorithm FA_ALP — FA-tree Allocation for Low Power (paper Sec. 4.3):
+    the FA_AOT sweep with {!Sc_lp} as the column reducer, selecting FA
+    inputs by largest |q| instead of earliest arrival. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+(** Reduce [matrix] in place to two rows. *)
+val allocate : ?tie_break:Sc_lp.tie_break -> Netlist.t -> Matrix.t -> unit

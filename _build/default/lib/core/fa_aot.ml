@@ -1,0 +1,6 @@
+
+let allocate ?(tie_break = Sc_t.Arrival_only) ?(three_policy = Sc_t.Ha_finish)
+    netlist matrix =
+  Reduce.sweep netlist matrix
+    ~reducer:(fun netlist col ->
+      Sc_t.reduce_column ~tie_break ~three_policy netlist col)

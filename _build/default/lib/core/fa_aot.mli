@@ -1,0 +1,15 @@
+(** Algorithm FA_AOT — FA-tree Allocation for Optimal Timing (paper
+    Sec. 3.3): apply {!Sc_t} to every column, rightmost first, feeding each
+    column's carry-outs to the next.  Theorem 1: the resulting FA-tree has
+    optimal delay; by Lemma 2 every signal of the reduced matrix is in fact
+    pointwise-earliest, so any final adder sees the best possible inputs. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+(** Reduce [matrix] in place to at most two addends per column.
+    [three_policy] selects the paper's HA finish or the adaptive
+    extension (see {!Sc_t.three_policy}). *)
+val allocate :
+  ?tie_break:Sc_t.tie_break -> ?three_policy:Sc_t.three_policy ->
+  Netlist.t -> Matrix.t -> unit

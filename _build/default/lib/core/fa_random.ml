@@ -1,0 +1,5 @@
+
+let allocate ?(seed = 0xDA2000) netlist matrix =
+  let rng = Random.State.make [| seed |] in
+  Reduce.sweep netlist matrix
+    ~reducer:(fun netlist col -> Sc_random.reduce_column rng netlist col)

@@ -1,0 +1,8 @@
+(** FA_random — the random-selection baseline of the paper's Table 2,
+    deterministic under a fixed seed. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+(** Reduce [matrix] in place to two rows. *)
+val allocate : ?seed:int -> Netlist.t -> Matrix.t -> unit

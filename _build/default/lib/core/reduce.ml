@@ -1,0 +1,25 @@
+open Dp_netlist
+open Dp_bitmatrix
+
+type column_reducer =
+  Netlist.t -> Netlist.net list -> Netlist.net list * Netlist.net list
+
+let sweep netlist matrix ~reducer =
+  (* Condition 1 of the paper (Sec. 3.2): reduce the rightmost column first,
+     inserting its carry-outs into the next column before that one is
+     processed, until every column holds at most two addends.  The matrix
+     width can grow as carries spill leftwards (or stay capped when the
+     matrix is modular). *)
+  let j = ref 0 in
+  while !j < Matrix.width matrix do
+    let col = Matrix.column matrix !j in
+    if List.length col > 2 then begin
+      let kept, carries = reducer netlist col in
+      if List.length kept > 2 then
+        invalid_arg "Reduce.sweep: reducer left more than two addends";
+      Matrix.set_column matrix !j kept;
+      List.iter (fun net -> Matrix.add matrix ~weight:(!j + 1) net) carries
+    end;
+    incr j
+  done;
+  assert (Matrix.is_reduced matrix)

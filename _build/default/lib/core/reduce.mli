@@ -1,0 +1,15 @@
+(** Right-to-left column sweep shared by FA_AOT, FA_ALP and FA_random.
+
+    A column reducer takes the addends of one column (more than two) and
+    returns the at-most-two addends it keeps in that column plus the
+    carry-out addends it sends to the next column. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+type column_reducer =
+  Netlist.t -> Netlist.net list -> Netlist.net list * Netlist.net list
+
+(** Reduce every column of [matrix] (in place) to at most two addends.
+    @raise Invalid_argument if the reducer keeps more than two addends. *)
+val sweep : Netlist.t -> Matrix.t -> reducer:column_reducer -> unit

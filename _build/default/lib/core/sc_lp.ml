@@ -1,0 +1,49 @@
+open Dp_netlist
+
+type tie_break = Q_only | Prefer_early
+
+(* Largest |q| first (statement a of SC_LP); ties optionally prefer the
+   earliest arrival (the reverse of FA_AOT's combined rule); net id last
+   for determinism. *)
+let compare_nets netlist tie_break x y =
+  let by_q =
+    Float.compare
+      (Float.abs (Netlist.q netlist y))
+      (Float.abs (Netlist.q netlist x))
+  in
+  if by_q <> 0 then by_q
+  else
+    let by_arrival =
+      match tie_break with
+      | Q_only -> 0
+      | Prefer_early ->
+        Float.compare (Netlist.arrival netlist x) (Netlist.arrival netlist y)
+    in
+    if by_arrival <> 0 then by_arrival else Int.compare x y
+
+let reduce_column ?(tie_break = Q_only) netlist addends =
+  (* Algorithm SC_LP (Sec. 4.3): if the column population is odd, a
+     pseudo-addend of constant 0 joins the pool to model the HA (|q| of the
+     constant is the maximal 0.5, so the HA is allocated in the first
+     iteration); then every step feeds the three largest-|q| addends to a
+     new FA.  The builder degrades an FA with a constant input to an HA.
+     The pool size stays even, so it lands on exactly two. *)
+  if List.length addends <= 2 then addends, []
+  else begin
+    let pool =
+      if List.length addends mod 2 = 1 then
+        Netlist.const netlist false :: addends
+      else addends
+    in
+    let sort = List.sort (compare_nets netlist tie_break) in
+    let rec go pool carries =
+      if List.length pool <= 2 then pool, List.rev carries
+      else
+        match sort pool with
+        | x :: y :: z :: rest ->
+          let sum, carry = Netlist.fa netlist x y z in
+          go (sum :: rest) (carry :: carries)
+        | [] | [ _ ] | [ _; _ ] -> assert false
+    in
+    go pool []
+  end

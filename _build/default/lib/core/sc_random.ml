@@ -1,0 +1,27 @@
+open Dp_netlist
+
+let take_random rng pool =
+  let arr = Array.of_list pool in
+  let i = Random.State.int rng (Array.length arr) in
+  let chosen = arr.(i) in
+  chosen, List.filteri (fun j _ -> j <> i) pool
+
+let reduce_column rng netlist addends =
+  (* The FA_random baseline of Table 2: same FA/HA counts as SC_T/SC_LP,
+     uniformly random input selection. *)
+  let rec go pool carries =
+    match List.length pool with
+    | 0 | 1 | 2 -> pool, List.rev carries
+    | 3 ->
+      let x, pool = take_random rng pool in
+      let y, pool = take_random rng pool in
+      let sum, carry = Netlist.ha netlist x y in
+      (sum :: pool), List.rev (carry :: carries)
+    | _ ->
+      let x, pool = take_random rng pool in
+      let y, pool = take_random rng pool in
+      let z, pool = take_random rng pool in
+      let sum, carry = Netlist.fa netlist x y z in
+      go (sum :: pool) (carry :: carries)
+  in
+  go addends []

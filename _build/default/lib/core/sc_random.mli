@@ -1,0 +1,9 @@
+(** Random FA input selection — the FA_random baseline of the paper's
+    Table 2.  Allocates the same number of FAs/HAs per column as SC_T/SC_LP
+    but picks their inputs uniformly at random from the pool. *)
+
+open Dp_netlist
+
+val reduce_column :
+  Random.State.t -> Netlist.t -> Netlist.net list ->
+  Netlist.net list * Netlist.net list

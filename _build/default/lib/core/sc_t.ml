@@ -1,0 +1,54 @@
+open Dp_netlist
+
+type tie_break = Arrival_only | Prefer_high_q
+
+type three_policy = Ha_finish | Fa_finish
+
+(* Earliest arrival first; among ties, the paper's combined rule optionally
+   prefers the largest |q| (Sec. 4.3, last paragraph); net id last for
+   determinism. *)
+let compare_nets netlist tie_break x y =
+  let by_arrival = Float.compare (Netlist.arrival netlist x) (Netlist.arrival netlist y) in
+  if by_arrival <> 0 then by_arrival
+  else
+    let by_q =
+      match tie_break with
+      | Arrival_only -> 0
+      | Prefer_high_q ->
+        Float.compare
+          (Float.abs (Netlist.q netlist y))
+          (Float.abs (Netlist.q netlist x))
+    in
+    if by_q <> 0 then by_q else Int.compare x y
+
+(* When exactly three addends remain, the paper's footnote 1 allocates an
+   HA on the two earliest so the column keeps exactly two addends.  One
+   could instead spend an FA on all three (the convention of Fig. 1 and of
+   word-level CSA trees), keeping one addend and pushing one carry left;
+   that choice is locally dominated — both its kept-signal and its carry
+   are never earlier than the HA's — which the finish-policy ablation
+   makes visible. *)
+let finish_three policy netlist x y z carries =
+  match policy with
+  | Fa_finish ->
+    let sum, carry = Netlist.fa netlist x y z in
+    [ sum ], List.rev (carry :: carries)
+  | Ha_finish ->
+    let sum, carry = Netlist.ha netlist x y in
+    [ sum; z ], List.rev (carry :: carries)
+
+let reduce_column ?(tie_break = Arrival_only) ?(three_policy = Ha_finish)
+    netlist addends =
+  (* Algorithm SC_T (Sec. 3.3): while more than two addends remain, combine
+     the three earliest with an FA (the sum stays in the column, the carry
+     leaves); when exactly three remain, finish per [three_policy]. *)
+  let sort = List.sort (compare_nets netlist tie_break) in
+  let rec go pool carries =
+    match sort pool with
+    | x :: y :: z :: (_ :: _ as rest) ->
+      let sum, carry = Netlist.fa netlist x y z in
+      go (sum :: rest) (carry :: carries)
+    | [ x; y; z ] -> finish_three three_policy netlist x y z carries
+    | ([] | [ _ ] | [ _; _ ]) as rest -> rest, List.rev carries
+  in
+  go addends []

@@ -1,0 +1,45 @@
+open Dp_netlist
+open Dp_bitmatrix
+
+(* One column's share of a Wallace stage: FAs over consecutive triples in
+   the listed (fixed) order, an HA on a trailing pair, pass-through for a
+   trailing single.  Returns (kept sums/leftovers, carries). *)
+let compress_stage netlist col =
+  let rec go pool kept carries =
+    match pool with
+    | x :: y :: z :: rest ->
+      let sum, carry = Netlist.fa netlist x y z in
+      go rest (sum :: kept) (carry :: carries)
+    | [ x; y ] ->
+      let sum, carry = Netlist.ha netlist x y in
+      List.rev (sum :: kept), List.rev (carry :: carries)
+    | [ x ] -> List.rev (x :: kept), List.rev carries
+    | [] -> List.rev kept, List.rev carries
+  in
+  go col [] []
+
+(* One global stage: every tall column is compressed against its snapshot;
+   carries join the next column only after the stage completes. *)
+let stage netlist matrix =
+  let width = Matrix.width matrix in
+  let carries = Array.make (width + 1) [] in
+  let changed = ref false in
+  for j = 0 to width - 1 do
+    let col = Matrix.column matrix j in
+    if List.length col >= 3 then begin
+      changed := true;
+      let kept, cs = compress_stage netlist col in
+      Matrix.set_column matrix j kept;
+      carries.(j + 1) <- cs
+    end
+  done;
+  Array.iteri
+    (fun j cs -> List.iter (fun net -> Matrix.add matrix ~weight:j net) cs)
+    carries;
+  !changed
+
+let allocate netlist matrix =
+  while stage netlist matrix do
+    ()
+  done;
+  assert (Matrix.is_reduced matrix)

@@ -1,0 +1,13 @@
+(** Classic staged Wallace-tree compression — the fixed-structure scheme
+    the paper generalizes.  Stages are synchronous across columns: in each
+    stage every column of height >= 3 is maximally compressed (FAs on
+    consecutive triples in the listed order, an HA on a trailing pair),
+    ignoring arrival times and signal probabilities entirely, and carries
+    only become visible in the following stage.  This reproduces the
+    "fixed selection of addends" of Fig. 2(a). *)
+
+open Dp_netlist
+open Dp_bitmatrix
+
+(** Reduce [matrix] in place to two rows. *)
+val allocate : Netlist.t -> Matrix.t -> unit

@@ -1,0 +1,1 @@
+lib/designs/catalog.ml: Design Dp_expr Env List Parse String

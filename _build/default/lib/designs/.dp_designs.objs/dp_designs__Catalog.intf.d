@@ -1,0 +1,1 @@
+lib/designs/catalog.mli: Design

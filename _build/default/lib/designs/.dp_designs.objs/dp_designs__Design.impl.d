@@ -1,0 +1,1 @@
+lib/designs/design.ml: Array Ast Dp_expr Env Fmt List Random Range

@@ -1,0 +1,1 @@
+lib/designs/design.mli: Ast Dp_expr Env Fmt Random

@@ -1,0 +1,275 @@
+open Dp_expr
+
+let parse = Parse.expr
+
+(* -------------------------------------------------------------------- *)
+(* Polynomial designs: widths and non-zero input arrival times are taken
+   from the first column of the paper's Table 1. *)
+
+let x2 =
+  {
+    Design.name = "X2";
+    description = "X^2, X: 3-bit (Table 1 row 1)";
+    expr = parse "x^2";
+    env = Env.add_uniform "x" ~width:3 Env.empty;
+    width = 6;
+  }
+
+let x3 =
+  {
+    Design.name = "X3";
+    description = "X^3, X: 4-bit (Table 1 row 2)";
+    expr = parse "x^3";
+    env = Env.add_uniform "x" ~width:4 Env.empty;
+    width = 12;
+  }
+
+let poly_x2xy =
+  {
+    Design.name = "X2+X+Y";
+    description = "X^2 + X + Y, X,Y: 8-bit, X arrives at 0.7 ns (Table 1 row 3)";
+    expr = parse "x^2 + x + y";
+    env =
+      Env.empty
+      |> Env.add_uniform "x" ~width:8 ~arrival:0.7
+      |> Env.add_uniform "y" ~width:8;
+    width = 16;
+  }
+
+let poly_square =
+  {
+    Design.name = "(x+y+1)^2";
+    description =
+      "x^2 + 2xy + y^2 + 2x + 2y + 1, x,y: 8-bit arriving at 1.0 ns (Table 1 row 4)";
+    expr = parse "x^2 + 2*x*y + y^2 + 2*x + 2*y + 1";
+    env =
+      Env.empty
+      |> Env.add_uniform "x" ~width:8 ~arrival:1.0
+      |> Env.add_uniform "y" ~width:8 ~arrival:1.0;
+    width = 18;
+  }
+
+let poly_mixed =
+  {
+    Design.name = "x+y-z+xy-yz+10";
+    description = "x + y - z + x*y - y*z + 10, x,y,z: 8-bit (Table 1 row 5)";
+    expr = parse "x + y - z + x*y - y*z + 10";
+    env =
+      Env.empty
+      |> Env.add_uniform "x" ~width:8
+      |> Env.add_uniform "y" ~width:8
+      |> Env.add_uniform "z" ~width:8;
+    width = 18;
+  }
+
+(* -------------------------------------------------------------------- *)
+(* Filter/DSP designs.  The paper names the designs and their output
+   widths; coefficients and arrival profiles are not given, so we use
+   representative fixed-point constants and uneven arrivals (feedback and
+   pipeline signals arrive late, with a small LSB-first intra-word skew),
+   documented in DESIGN.md. *)
+
+let iir =
+  {
+    Design.name = "IIR";
+    description =
+      "arithmetic part of a 2nd-order IIR (direct form II), 16-bit output; \
+       feedback states w1/w2 arrive late";
+    expr = parse "5*(x - 3*w1 - 2*w2) + 4*w1 + 3*w2";
+    env =
+      Env.empty
+      |> Env.add_uniform "x" ~width:8
+      |> Env.add "w1" ~width:8 ~arrival:(Design.staggered ~base:1.2 ~slope:0.1 8)
+      |> Env.add "w2" ~width:8 ~arrival:(Design.staggered ~base:0.8 ~slope:0.1 8);
+    width = 16;
+  }
+
+let kalman =
+  {
+    Design.name = "Kalman";
+    description =
+      "state-vector update row of a Kalman filter, 32-bit output; state \
+       components become available one after another";
+    expr = parse "14*x1 + 9*x2 + 23*x3 + 5*x4 + 11*u";
+    env =
+      Env.empty
+      |> Env.add "x1" ~width:16 ~arrival:(Design.staggered ~base:0.0 ~slope:0.12 16)
+      |> Env.add "x2" ~width:16 ~arrival:(Design.staggered ~base:0.4 ~slope:0.12 16)
+      |> Env.add "x3" ~width:16 ~arrival:(Design.staggered ~base:0.8 ~slope:0.12 16)
+      |> Env.add "x4" ~width:16 ~arrival:(Design.staggered ~base:1.2 ~slope:0.12 16)
+      |> Env.add "u" ~width:16 ~arrival:(Design.staggered ~base:0.0 ~slope:0.12 16);
+    width = 32;
+  }
+
+let idct =
+  {
+    Design.name = "IDCT";
+    description =
+      "one output of an 8-point 1-D IDCT with 12-bit cosine constants, \
+       32-bit output; coefficients arrive staggered from the previous stage";
+    expr =
+      parse
+        "4096*f0 + 4017*f1 + 3784*f2 + 3406*f3 + 2896*f4 + 2276*f5 + 1567*f6 \
+         + 799*f7";
+    env =
+      List.fold_left
+        (fun env (k, name) ->
+          Env.add name ~width:16
+            ~arrival:(Design.staggered ~base:(0.15 *. float_of_int k) ~slope:0.1 16)
+            env)
+        Env.empty
+        [ 0, "f0"; 1, "f1"; 2, "f2"; 3, "f3"; 4, "f4"; 5, "f5"; 6, "f6"; 7, "f7" ];
+    width = 32;
+  }
+
+let complex =
+  {
+    Design.name = "Complex";
+    description =
+      "real part of a complex multiplication (ac - bd), 16-bit operands, \
+       32-bit output";
+    expr = parse "a*c - b*d";
+    env =
+      List.fold_left
+        (fun env name ->
+          Env.add name ~width:16 ~arrival:(Design.staggered ~slope:0.1 16) env)
+        Env.empty [ "a"; "b"; "c"; "d" ];
+    width = 32;
+  }
+
+let serial_adapter =
+  {
+    Design.name = "Serial-Adapter";
+    description =
+      "3-port series adaptor of a wave-digital ladder filter: mostly \
+       regular additions with one small constant scaling, 16-bit output";
+    expr = parse "(a1 + a2 + a3) - 3*(b1 + b2 + b3)";
+    env =
+      List.fold_left
+        (fun env name -> Env.add_uniform name ~width:12 env)
+        Env.empty
+        [ "a1"; "a2"; "a3"; "b1"; "b2"; "b3" ];
+    width = 16;
+  }
+
+(* -------------------------------------------------------------------- *)
+(* Extended benchmarks beyond the paper: common datapath kernels, used by
+   the `extended` bench experiment and as additional test fodder. *)
+
+let fir8 =
+  {
+    Design.name = "FIR8";
+    description = "8-tap FIR filter with 10-bit coefficients, 12-bit samples";
+    expr =
+      parse
+        "29*x0 + 211*x1 + 471*x2 + 598*x3 + 471*x4 + 211*x5 + 29*x6 + 3*x7";
+    env =
+      List.fold_left
+        (fun env (k, name) ->
+          Env.add name ~width:12
+            ~arrival:(Design.staggered ~base:(0.1 *. float_of_int k) ~slope:0.05 12)
+            env)
+        Env.empty
+        [ 0, "x0"; 1, "x1"; 2, "x2"; 3, "x3"; 4, "x4"; 5, "x5"; 6, "x6"; 7, "x7" ];
+    width = 24;
+  }
+
+let butterfly =
+  {
+    Design.name = "Butterfly";
+    description =
+      "radix-2 FFT butterfly (real part): ar + wr*br - wi*bi, 12-bit data, \
+       twiddle factors as inputs";
+    expr = parse "ar + wr*br - wi*bi";
+    env =
+      List.fold_left
+        (fun env name -> Env.add_uniform name ~width:12 env)
+        Env.empty [ "ar"; "wr"; "br"; "wi"; "bi" ];
+    width = 26;
+  }
+
+let conv3x3 =
+  {
+    Design.name = "Conv3x3";
+    description =
+      "3x3 Laplacian convolution: 8*p4 - p0 - p1 - p2 - p3 - p5 - p6 - p7 \
+       - p8, 8-bit pixels";
+    expr = parse "8*p4 - p0 - p1 - p2 - p3 - p5 - p6 - p7 - p8";
+    env =
+      List.fold_left
+        (fun env name -> Env.add_uniform name ~width:8 env)
+        Env.empty
+        [ "p0"; "p1"; "p2"; "p3"; "p4"; "p5"; "p6"; "p7"; "p8" ];
+    width = 12;
+  }
+
+let dot4 =
+  {
+    Design.name = "Dot4";
+    description = "4-element dot product, 8-bit operands";
+    expr = parse "a1*b1 + a2*b2 + a3*b3 + a4*b4";
+    env =
+      List.fold_left
+        (fun env name -> Env.add_uniform name ~width:8 env)
+        Env.empty
+        [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3"; "a4"; "b4" ];
+    width = 18;
+  }
+
+let mac =
+  {
+    Design.name = "MAC";
+    description =
+      "multiply-accumulate acc + x*y: the accumulator arrives late from \
+       the previous iteration";
+    expr = parse "acc + x*y";
+    env =
+      Env.empty
+      |> Env.add "acc" ~width:16 ~arrival:(Design.staggered ~base:1.0 ~slope:0.08 16)
+      |> Env.add_uniform "x" ~width:8
+      |> Env.add_uniform "y" ~width:8;
+    width = 17;
+  }
+
+let horner3 =
+  {
+    Design.name = "Horner3";
+    description =
+      "cubic polynomial in Horner form ((7x + 23)x + 11)x + 5, 8-bit x";
+    expr = parse "((7*x + 23)*x + 11)*x + 5";
+    env = Env.add_uniform "x" ~width:8 Env.empty;
+    width = 27;
+  }
+
+let extended = [ fir8; butterfly; conv3x3; dot4; mac; horner3 ]
+
+(* -------------------------------------------------------------------- *)
+
+let table1 =
+  [
+    x2;
+    x3;
+    poly_x2xy;
+    poly_square;
+    poly_mixed;
+    iir;
+    kalman;
+    idct;
+    complex;
+    serial_adapter;
+  ]
+
+(* Table 2 measures power under "random signal probabilities for the
+   inputs" on the five application designs; each design gets its own
+   deterministic seed. *)
+let table2 =
+  List.mapi
+    (fun i design -> Design.with_random_probs ~seed:(0x20DAC + i) design)
+    [ iir; kalman; idct; complex; serial_adapter ]
+
+let all = table1 @ extended
+
+let find name =
+  List.find_opt
+    (fun (d : Design.t) -> String.lowercase_ascii d.name = String.lowercase_ascii name)
+    all

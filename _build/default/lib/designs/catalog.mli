@@ -1,0 +1,34 @@
+(** The paper's benchmark designs (Tables 1 and 2), reconstructed per
+    DESIGN.md: widths and the listed non-zero arrivals from the paper,
+    representative coefficients where the paper gives none. *)
+
+val x2 : Design.t
+val x3 : Design.t
+val poly_x2xy : Design.t
+val poly_square : Design.t
+val poly_mixed : Design.t
+val iir : Design.t
+val kalman : Design.t
+val idct : Design.t
+val complex : Design.t
+val serial_adapter : Design.t
+
+(** The ten Table-1 rows, in order. *)
+val table1 : Design.t list
+
+(** The five Table-2 rows with seeded random input probabilities. *)
+val table2 : Design.t list
+
+val fir8 : Design.t
+val butterfly : Design.t
+val conv3x3 : Design.t
+val dot4 : Design.t
+val mac : Design.t
+val horner3 : Design.t
+
+(** Datapath kernels beyond the paper (FIR, FFT butterfly, convolution,
+    dot product, MAC, Horner polynomial). *)
+val extended : Design.t list
+
+val all : Design.t list
+val find : string -> Design.t option

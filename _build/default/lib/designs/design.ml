@@ -1,0 +1,32 @@
+open Dp_expr
+
+type t = {
+  name : string;
+  description : string;
+  expr : Ast.t;
+  env : Env.t;
+  width : int;
+}
+
+let staggered ?(base = 0.0) ?(slope = 0.0) width =
+  Array.init width (fun i -> base +. (slope *. float_of_int i))
+
+let random_probs rng width =
+  Array.init width (fun _ -> 0.05 +. Random.State.float rng 0.9)
+
+let with_random_probs ~seed design =
+  let rng = Random.State.make [| seed |] in
+  let env =
+    List.fold_left
+      (fun env (name, (info : Env.var_info)) ->
+        Env.add name ~width:info.width ~arrival:info.arrival
+          ~prob:(random_probs rng info.width)
+          env)
+      Env.empty (Env.bindings design.env)
+  in
+  { design with env }
+
+let natural_width design = Range.natural_width design.env design.expr
+
+let pp ppf d =
+  Fmt.pf ppf "%s: %a (W=%d) %a" d.name Ast.pp d.expr d.width Env.pp d.env

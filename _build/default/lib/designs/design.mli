@@ -1,0 +1,26 @@
+(** A benchmark design: an expression plus its input characteristics
+    (bit-widths, per-bit arrival times, per-bit signal probabilities) and
+    the output width — exactly the inputs the paper's tool accepts. *)
+
+open Dp_expr
+
+type t = {
+  name : string;
+  description : string;
+  expr : Ast.t;
+  env : Env.t;
+  width : int;  (** output width W; the design computes expr mod 2^W *)
+}
+
+(** Arrival profile [base + slope*i] for bit i. *)
+val staggered : ?base:float -> ?slope:float -> int -> float array
+
+(** Independent per-bit probabilities drawn uniformly from [0.05, 0.95]. *)
+val random_probs : Random.State.t -> int -> float array
+
+(** Same design with every input's probabilities re-drawn from [seed] —
+    Table 2's "random signal probabilities". *)
+val with_random_probs : seed:int -> t -> t
+
+val natural_width : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/expr/ast.ml: Fmt Int List String

@@ -1,0 +1,1 @@
+lib/expr/csd.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/expr/csd.mli: Fmt

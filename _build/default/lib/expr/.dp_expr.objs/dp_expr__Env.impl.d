@@ -1,0 +1,1 @@
+lib/expr/env.ml: Array Ast Fmt List Map Printf String

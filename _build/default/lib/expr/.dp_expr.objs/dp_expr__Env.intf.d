@@ -1,0 +1,1 @@
+lib/expr/env.mli: Ast Fmt

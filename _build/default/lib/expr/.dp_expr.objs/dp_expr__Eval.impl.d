@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Ast List Printf

@@ -1,0 +1,1 @@
+lib/expr/parse.ml: Ast Fmt List String

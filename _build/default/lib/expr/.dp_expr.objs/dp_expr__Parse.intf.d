@@ -1,0 +1,1 @@
+lib/expr/parse.mli: Ast

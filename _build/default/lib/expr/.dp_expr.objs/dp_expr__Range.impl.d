@@ -1,0 +1,1 @@
+lib/expr/range.ml: Ast Env Eval Fmt List

@@ -1,0 +1,1 @@
+lib/expr/range.mli: Ast Env Fmt

@@ -1,0 +1,1 @@
+lib/expr/sop.ml: Ast Fmt List Map Option Stdlib String

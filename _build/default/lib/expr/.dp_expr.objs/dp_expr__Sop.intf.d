@@ -1,0 +1,1 @@
+lib/expr/sop.mli: Ast Fmt

@@ -1,0 +1,70 @@
+type t =
+  | Var of string
+  | Const of int
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Neg of t
+  | Pow of t * int
+
+let var s = Var s
+let const c = Const c
+let neg a = Neg a
+let pow a n =
+  if n < 0 then invalid_arg "Ast.pow: negative exponent";
+  Pow (a, n)
+
+let rec equal a b =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Const x, Const y -> Int.equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Neg a1, Neg b1 -> equal a1 b1
+  | Pow (a1, n), Pow (b1, m) -> Int.equal n m && equal a1 b1
+  | (Var _ | Const _ | Add _ | Sub _ | Mul _ | Neg _ | Pow _), _ -> false
+
+let rec vars_acc acc = function
+  | Var x -> if List.mem x acc then acc else x :: acc
+  | Const _ -> acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> vars_acc (vars_acc acc a) b
+  | Neg a -> vars_acc acc a
+  | Pow (a, _) -> vars_acc acc a
+
+let vars e = List.sort String.compare (vars_acc [] e)
+
+let rec subst lookup = function
+  | Var x as e -> (match lookup x with Some replacement -> replacement | None -> e)
+  | Const _ as e -> e
+  | Add (a, b) -> Add (subst lookup a, subst lookup b)
+  | Sub (a, b) -> Sub (subst lookup a, subst lookup b)
+  | Mul (a, b) -> Mul (subst lookup a, subst lookup b)
+  | Neg a -> Neg (subst lookup a)
+  | Pow (a, n) -> Pow (subst lookup a, n)
+
+let rec size = function
+  | Var _ | Const _ -> 1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> 1 + size a + size b
+  | Neg a | Pow (a, _) -> 1 + size a
+
+(* Precedence levels for printing: 0 add/sub, 1 mul, 2 neg, 3 pow/atom. *)
+let rec pp_prec prec ppf e =
+  let paren p body = if prec > p then Fmt.pf ppf "(%t)" body else body ppf in
+  match e with
+  | Var x -> Fmt.string ppf x
+  | Const c ->
+    if c < 0 then Fmt.pf ppf "(%d)" c else Fmt.int ppf c
+  | Add (a, b) -> paren 0 (fun ppf -> Fmt.pf ppf "%a + %a" (pp_prec 0) a (pp_prec 0) b)
+  | Sub (a, b) -> paren 0 (fun ppf -> Fmt.pf ppf "%a - %a" (pp_prec 0) a (pp_prec 1) b)
+  | Mul (a, b) -> paren 1 (fun ppf -> Fmt.pf ppf "%a*%a" (pp_prec 1) a (pp_prec 2) b)
+  | Neg a -> paren 2 (fun ppf -> Fmt.pf ppf "-%a" (pp_prec 2) a)
+  | Pow (a, n) -> paren 3 (fun ppf -> Fmt.pf ppf "%a^%d" (pp_prec 3) a n)
+
+let pp ppf e = pp_prec 0 ppf e
+let to_string e = Fmt.str "%a" pp e
+
+(* Infix constructors shadow arithmetic, so they come last. *)
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)

@@ -1,0 +1,38 @@
+(** Abstract syntax of arithmetic expressions over unsigned variables.
+
+    The datapath synthesizer accepts any composition of additions,
+    subtractions and multiplications (the paper's Sec. 1); [Neg] and [Pow]
+    are convenience forms eliminated during normalization. *)
+
+type t =
+  | Var of string
+  | Const of int
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Neg of t
+  | Pow of t * int
+
+val var : string -> t
+val const : int -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val neg : t -> t
+
+(** @raise Invalid_argument on a negative exponent. *)
+val pow : t -> int -> t
+
+val equal : t -> t -> bool
+
+(** Distinct variable names, sorted. *)
+val vars : t -> string list
+
+(** Capture-free substitution of variables (there are no binders). *)
+val subst : (string -> t option) -> t -> t
+
+(** Node count. *)
+val size : t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string

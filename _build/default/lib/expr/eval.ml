@@ -1,0 +1,28 @@
+let rec pow_int base n = if n = 0 then 1 else base * pow_int base (n - 1)
+
+let rec eval assign = function
+  | Ast.Var x -> assign x
+  | Ast.Const c -> c
+  | Ast.Add (a, b) -> eval assign a + eval assign b
+  | Ast.Sub (a, b) -> eval assign a - eval assign b
+  | Ast.Mul (a, b) -> eval assign a * eval assign b
+  | Ast.Neg a -> -eval assign a
+  | Ast.Pow (a, n) -> pow_int (eval assign a) n
+
+let mask width =
+  if width < 1 || width > 62 then invalid_arg "Eval.mask: width out of [1,62]";
+  (1 lsl width) - 1
+
+let eval_mod ~width assign e = eval assign e land mask width
+
+let signed_of_pattern ~width v =
+  let v = v land mask width in
+  if (v lsr (width - 1)) land 1 = 1 then v - (1 lsl width) else v
+
+let eval_alist alist e =
+  let assign x =
+    match List.assoc_opt x alist with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Eval.eval_alist: unbound %s" x)
+  in
+  eval assign e

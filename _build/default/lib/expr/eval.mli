@@ -1,0 +1,23 @@
+(** Reference interpreter for expressions.
+
+    Evaluation uses native integers; every design in this repository fits
+    well inside 62 bits.  A fixed-width datapath computes the value modulo
+    2^W (two's-complement wrap-around), which {!eval_mod} mirrors. *)
+
+(** Exact (unbounded within native int) evaluation. *)
+val eval : (string -> int) -> Ast.t -> int
+
+(** All-ones mask of the given width.
+    @raise Invalid_argument outside [1, 62]. *)
+val mask : int -> int
+
+(** Value modulo 2^width — the semantics realized by a synthesized netlist
+    of output width [width]. *)
+val eval_mod : width:int -> (string -> int) -> Ast.t -> int
+
+(** Two's-complement value of a [width]-bit pattern. *)
+val signed_of_pattern : width:int -> int -> int
+
+(** Evaluate with an association-list assignment.
+    @raise Invalid_argument on an unbound variable. *)
+val eval_alist : (string * int) list -> Ast.t -> int

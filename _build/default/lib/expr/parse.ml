@@ -1,0 +1,193 @@
+exception Error of string
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tcaret
+  | Tlparen
+  | Trparen
+  | Tequal
+  | Tsemi
+  | Teof
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let rec scan i acc =
+    if i >= n then List.rev (Teof :: acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1) acc
+      | '+' -> scan (i + 1) (Tplus :: acc)
+      | '-' -> scan (i + 1) (Tminus :: acc)
+      | '*' -> scan (i + 1) (Tstar :: acc)
+      | '^' -> scan (i + 1) (Tcaret :: acc)
+      | '(' -> scan (i + 1) (Tlparen :: acc)
+      | ')' -> scan (i + 1) (Trparen :: acc)
+      | '=' -> scan (i + 1) (Tequal :: acc)
+      | ';' -> scan (i + 1) (Tsemi :: acc)
+      | c when is_digit c ->
+        let j = ref i in
+        while !j < n && is_digit s.[!j] do incr j done;
+        let lit = String.sub s i (!j - i) in
+        (match int_of_string_opt lit with
+        | Some v -> scan !j (Tint v :: acc)
+        | None -> fail "integer literal too large: %s" lit)
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do incr j done;
+        scan !j (Tident (String.sub s i (!j - i)) :: acc)
+      | c -> fail "unexpected character %C at offset %d" c i
+  in
+  scan 0 []
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> Teof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st else fail "expected %s" what
+
+(* Grammar (precedence ascending):
+     expr   := term (('+' | '-') term)*
+     term   := factor ('*' factor)*
+     factor := '-' factor | power
+     power  := atom ('^' nat)*
+     atom   := ident | nat | '(' expr ')'              *)
+let rec parse_expr st =
+  let rec loop acc =
+    match peek st with
+    | Tplus ->
+      advance st;
+      loop (Ast.Add (acc, parse_term st))
+    | Tminus ->
+      advance st;
+      loop (Ast.Sub (acc, parse_term st))
+    | Tident _ | Tint _ | Tstar | Tcaret | Tlparen | Trparen | Tequal | Tsemi
+    | Teof -> acc
+  in
+  loop (parse_term st)
+
+and parse_term st =
+  let rec loop acc =
+    match peek st with
+    | Tstar ->
+      advance st;
+      loop (Ast.Mul (acc, parse_factor st))
+    | Tident _ | Tint _ | Tplus | Tminus | Tcaret | Tlparen | Trparen | Tequal
+    | Tsemi | Teof ->
+      acc
+  in
+  loop (parse_factor st)
+
+and parse_factor st =
+  match peek st with
+  | Tminus ->
+    advance st;
+    Ast.Neg (parse_factor st)
+  | Tident _ | Tint _ | Tplus | Tstar | Tcaret | Tlparen | Trparen | Tequal
+  | Tsemi | Teof ->
+    parse_power st
+
+and parse_power st =
+  let base = parse_atom st in
+  let rec loop acc =
+    match peek st with
+    | Tcaret -> (
+      advance st;
+      match peek st with
+      | Tint n ->
+        advance st;
+        loop (Ast.Pow (acc, n))
+      | Tident _ | Tplus | Tminus | Tstar | Tcaret | Tlparen | Trparen
+      | Tequal | Tsemi | Teof ->
+        fail "expected integer exponent after '^'")
+    | Tident _ | Tint _ | Tplus | Tminus | Tstar | Tlparen | Trparen | Tequal
+    | Tsemi | Teof ->
+      acc
+  in
+  loop base
+
+and parse_atom st =
+  match peek st with
+  | Tident x ->
+    advance st;
+    Ast.Var x
+  | Tint v ->
+    advance st;
+    Ast.Const v
+  | Tlparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Trparen "')'";
+    e
+  | Tplus | Tminus | Tstar | Tcaret | Trparen | Tequal | Tsemi | Teof ->
+    fail "expected variable, integer or '('"
+
+let expr s =
+  let st = { tokens = tokenize s } in
+  let e = parse_expr st in
+  expect st Teof "end of input";
+  e
+
+let expr_opt s = match expr s with e -> Some e | exception Error _ -> None
+
+(* A program is a ';'-separated sequence of [name = expr] statements.
+   Earlier bindings are inlined into later expressions (there are no
+   cycles: a name must be bound before use); the statements whose names no
+   later statement references are the program's outputs. *)
+let program s =
+  let st = { tokens = tokenize s } in
+  (* acc: (name, raw expression as written, expression with earlier
+     bindings inlined) in reverse program order *)
+  let rec stmts acc =
+    match peek st with
+    | Teof -> List.rev acc
+    | Tident name -> (
+      advance st;
+      expect st Tequal "'='";
+      if List.exists (fun (n, _, _) -> String.equal n name) acc then
+        fail "duplicate binding %s" name;
+      let raw = parse_expr st in
+      let lookup v =
+        List.find_map
+          (fun (n, _, inlined) -> if String.equal n v then Some inlined else None)
+          acc
+      in
+      let inlined = Ast.subst lookup raw in
+      match peek st with
+      | Tsemi ->
+        advance st;
+        stmts ((name, raw, inlined) :: acc)
+      | Teof -> List.rev ((name, raw, inlined) :: acc)
+      | Tident _ | Tint _ | Tplus | Tminus | Tstar | Tcaret | Tlparen
+      | Trparen | Tequal ->
+        fail "expected ';' between statements")
+    | Tint _ | Tplus | Tminus | Tstar | Tcaret | Tlparen | Trparen | Tequal
+    | Tsemi ->
+      fail "expected a statement (name = expression)"
+  in
+  let bindings = stmts [] in
+  if bindings = [] then fail "empty program";
+  (* outputs: bindings no later statement references (checked against the
+     raw expressions, before inlining erased the references) *)
+  let rec outputs = function
+    | [] -> []
+    | (name, _, inlined) :: rest ->
+      let referenced =
+        List.exists (fun (_, raw, _) -> List.mem name (Ast.vars raw)) rest
+      in
+      if referenced then outputs rest else (name, inlined) :: outputs rest
+  in
+  outputs bindings

@@ -1,0 +1,17 @@
+(** Text syntax for expressions: identifiers, decimal constants, [+ - *],
+    exponent [^n], unary minus and parentheses, with the usual precedence
+    ([^] > unary [-] > [*] > [+ -]). *)
+
+exception Error of string
+
+(** @raise Error on a syntax error. *)
+val expr : string -> Ast.t
+
+val expr_opt : string -> Ast.t option
+
+(** Parse a ';'-separated program of [name = expr] statements.  Earlier
+    bindings are inlined into later expressions; the statements whose names
+    are never referenced later are returned as the outputs, in program
+    order.  @raise Error on syntax errors, duplicate bindings or an empty
+    program. *)
+val program : string -> (string * Ast.t) list

@@ -1,0 +1,61 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Range.make: lo > hi";
+  { lo; hi }
+
+let of_width w = { lo = 0; hi = Eval.mask w }
+
+let of_signed_width w =
+  if w = 1 then { lo = -1; hi = 0 }
+  else { lo = -(1 lsl (w - 1)); hi = (1 lsl (w - 1)) - 1 }
+let const c = { lo = c; hi = c }
+
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+let sub a b = { lo = a.lo - b.hi; hi = a.hi - b.lo }
+let neg a = { lo = -a.hi; hi = -a.lo }
+
+let mul a b =
+  let products = [ a.lo * b.lo; a.lo * b.hi; a.hi * b.lo; a.hi * b.hi ] in
+  {
+    lo = List.fold_left min max_int products;
+    hi = List.fold_left max min_int products;
+  }
+
+let rec pow a n =
+  if n = 0 then const 1
+  else if n = 1 then a
+  else mul a (pow a (n - 1))
+
+let rec of_expr env = function
+  | Ast.Var x ->
+    let info = Env.find x env in
+    if info.signed then of_signed_width info.width else of_width info.width
+  | Ast.Const c -> const c
+  | Ast.Add (a, b) -> add (of_expr env a) (of_expr env b)
+  | Ast.Sub (a, b) -> sub (of_expr env a) (of_expr env b)
+  | Ast.Mul (a, b) -> mul (of_expr env a) (of_expr env b)
+  | Ast.Neg a -> neg (of_expr env a)
+  | Ast.Pow (a, n) -> pow (of_expr env a) n
+
+let bits_for_nonneg v =
+  (* minimum width so that 0 <= v < 2^w, with w >= 1 *)
+  let rec go w cap = if v < cap then w else go (w + 1) (cap * 2) in
+  go 1 2
+
+(* like [bits_for_nonneg] but 0 needs no bits — used for the magnitude part
+   of a two's-complement width *)
+let bits0 v = if v = 0 then 0 else bits_for_nonneg v
+
+let width r =
+  if r.lo >= 0 then bits_for_nonneg r.hi
+  else
+    (* two's-complement width holding both extremes: a sign bit plus enough
+       magnitude bits for hi and for (-lo - 1) *)
+    let w_hi = 1 + bits0 (max r.hi 0) in
+    let w_lo = 1 + bits0 (-r.lo - 1) in
+    max w_hi w_lo
+
+let natural_width env e = width (of_expr env e)
+
+let pp ppf r = Fmt.pf ppf "[%d, %d]" r.lo r.hi

@@ -1,0 +1,1 @@
+lib/flow/report.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/flow/strategy.mli: Fmt

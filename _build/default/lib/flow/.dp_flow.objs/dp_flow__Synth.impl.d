@@ -1,0 +1,1 @@
+lib/flow/synth.ml: Array Ast Dp_adders Dp_baselines Dp_bitmatrix Dp_core Dp_expr Dp_netlist Dp_power Dp_sim Dp_tech Env Float List Netlist Range Stats Strategy

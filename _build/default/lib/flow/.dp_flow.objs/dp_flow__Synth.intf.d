@@ -1,0 +1,1 @@
+lib/flow/synth.mli: Ast Dp_adders Dp_bitmatrix Dp_expr Dp_netlist Dp_sim Dp_tech Env Netlist Stats Stdlib Strategy

@@ -1,0 +1,45 @@
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let pad_left width s =
+  let len = String.length s in
+  if len >= width then s else String.make (width - len) ' ' ^ s
+
+(* Render an aligned text table: first column left-aligned, the rest
+   right-aligned (they are numbers). *)
+let table ~header ~rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> columns then
+        invalid_arg "Report.table: ragged rows")
+    rows;
+  let widths =
+    List.init columns (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          0 all)
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           if i = 0 then pad w cell else pad_left w cell)
+         row)
+  in
+  let separator =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: separator :: List.map render_row rows)
+  ^ "\n"
+
+let improvement ~baseline ~ours =
+  if baseline = 0.0 then 0.0 else (baseline -. ours) /. baseline *. 100.0
+
+let pct ~baseline ~ours = Printf.sprintf "%.1f%%" (improvement ~baseline ~ours)
+let ns v = Printf.sprintf "%.2f ns" v
+let units v = Printf.sprintf "%.0f" v
+let mw v = Printf.sprintf "%.0f mW" v

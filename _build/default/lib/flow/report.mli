@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the experiment reproductions. *)
+
+(** Aligned table; first column left-aligned, others right-aligned.
+    @raise Invalid_argument on ragged rows. *)
+val table : header:string list -> rows:string list list -> string
+
+(** Percent improvement of [ours] over [baseline] (positive = better). *)
+val improvement : baseline:float -> ours:float -> float
+
+val pct : baseline:float -> ours:float -> string
+val ns : float -> string
+val units : float -> string
+val mw : float -> string

@@ -1,0 +1,57 @@
+type t =
+  | Fa_aot
+  | Fa_aot_combined  (** FA_AOT breaking arrival ties toward large |q| *)
+  | Fa_aot_fa3  (** FA_AOT finishing 3-addend columns with an FA (Fig. 1 style) *)
+  | Fa_alp
+  | Fa_alp_combined  (** FA_ALP breaking |q| ties toward early arrival *)
+  | Fa_random of int  (** seed *)
+  | Wallace
+  | Dadda
+  | Column_isolation
+  | Csa_opt
+  | Conventional
+
+let all =
+  [
+    Conventional;
+    Wallace;
+    Dadda;
+    Column_isolation;
+    Csa_opt;
+    Fa_random 1;
+    Fa_aot;
+    Fa_aot_combined;
+    Fa_aot_fa3;
+    Fa_alp;
+    Fa_alp_combined;
+  ]
+
+let name = function
+  | Fa_aot -> "FA_AOT"
+  | Fa_aot_combined -> "FA_AOT+q"
+  | Fa_aot_fa3 -> "FA_AOT/fa3"
+  | Fa_alp -> "FA_ALP"
+  | Fa_alp_combined -> "FA_ALP+t"
+  | Fa_random seed -> Printf.sprintf "FA_random[%d]" seed
+  | Wallace -> "Wallace"
+  | Dadda -> "Dadda"
+  | Column_isolation -> "Col-Iso"
+  | Csa_opt -> "CSA_OPT"
+  | Conventional -> "Convent."
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "fa_aot" | "aot" | "timing" -> Some Fa_aot
+  | "fa_aot+q" | "combined-timing" -> Some Fa_aot_combined
+  | "fa_aot/fa3" | "fa_aot_fa3" -> Some Fa_aot_fa3
+  | "fa_alp" | "alp" | "power" -> Some Fa_alp
+  | "fa_alp+t" | "combined-power" -> Some Fa_alp_combined
+  | "fa_random" | "random" -> Some (Fa_random 1)
+  | "wallace" -> Some Wallace
+  | "dadda" -> Some Dadda
+  | "col-iso" | "column-isolation" -> Some Column_isolation
+  | "csa_opt" | "csa-opt" -> Some Csa_opt
+  | "conventional" | "convent" | "convent." -> Some Conventional
+  | _ -> None
+
+let pp ppf s = Fmt.string ppf (name s)

@@ -1,0 +1,23 @@
+(** The synthesis strategies the experiments compare: the paper's FA_AOT /
+    FA_ALP (plus their combined tie-breaking variants and the FA_random
+    baseline), the fixed-structure Wallace/Dadda schemes, the Fig. 2(b)
+    column-isolation variant, the word-level CSA_OPT [8], and the
+    conventional two-step RTL flow. *)
+
+type t =
+  | Fa_aot
+  | Fa_aot_combined
+  | Fa_aot_fa3
+  | Fa_alp
+  | Fa_alp_combined
+  | Fa_random of int
+  | Wallace
+  | Dadda
+  | Column_isolation
+  | Csa_opt
+  | Conventional
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+val pp : t Fmt.t

@@ -1,0 +1,193 @@
+open Dp_netlist
+open Dp_expr
+
+type result = {
+  strategy : Strategy.t;
+  netlist : Netlist.t;
+  output : string;
+  width : int;
+  stats : Stats.t;
+  tree_switching : float;
+  total_switching : float;
+  reduced_max_arrival : float option;
+}
+
+let output_name = "out"
+
+let allocate_matrix (strategy : Strategy.t) netlist matrix =
+  match strategy with
+  | Fa_aot -> Dp_core.Fa_aot.allocate netlist matrix
+  | Fa_aot_combined ->
+    Dp_core.Fa_aot.allocate ~tie_break:Dp_core.Sc_t.Prefer_high_q netlist matrix
+  | Fa_aot_fa3 ->
+    Dp_core.Fa_aot.allocate ~three_policy:Dp_core.Sc_t.Fa_finish netlist matrix
+  | Fa_alp -> Dp_core.Fa_alp.allocate netlist matrix
+  | Fa_alp_combined ->
+    Dp_core.Fa_alp.allocate ~tie_break:Dp_core.Sc_lp.Prefer_early netlist matrix
+  | Fa_random seed -> Dp_core.Fa_random.allocate ~seed netlist matrix
+  | Wallace -> Dp_core.Wallace.allocate netlist matrix
+  | Dadda -> Dp_core.Dadda.allocate netlist matrix
+  | Column_isolation -> Dp_core.Column_isolation.allocate netlist matrix
+  | Conventional | Csa_opt ->
+    invalid_arg "Synth.allocate_matrix: not a matrix strategy"
+
+let finish ?reduced_max_arrival strategy netlist ~width out_nets =
+  Netlist.set_output netlist output_name out_nets;
+  {
+    strategy;
+    netlist;
+    output = output_name;
+    width;
+    stats = Stats.of_netlist netlist;
+    tree_switching = Dp_power.Switching.tree_switching netlist;
+    total_switching = Dp_power.Switching.total_switching netlist;
+    reduced_max_arrival;
+  }
+
+let rows_max_arrival netlist (row_a, row_b) =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | None -> acc
+      | Some net -> Float.max acc (Netlist.arrival netlist net))
+    (Array.fold_left
+       (fun acc slot ->
+         match slot with
+         | None -> acc
+         | Some net -> Float.max acc (Netlist.arrival netlist net))
+       0.0 row_a)
+    row_b
+
+let run ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
+    ?(lower_config = Dp_bitmatrix.Lower.default_config) ?width strategy env expr =
+  let width =
+    match width with Some w -> w | None -> Range.natural_width env expr
+  in
+  let netlist = Netlist.create ~tech in
+  match (strategy : Strategy.t) with
+  | Conventional ->
+    let config = { Dp_baselines.Conventional.default_config with adder } in
+    let out =
+      Dp_baselines.Conventional.synthesize ~config netlist env expr ~width
+    in
+    finish strategy netlist ~width out
+  | Csa_opt ->
+    let matrix =
+      Dp_bitmatrix.Lower.lower ~config:lower_config netlist env expr ~width
+    in
+    let rows = Dp_baselines.Rows.of_matrix ~width matrix in
+    let final_rows = Dp_baselines.Csa_opt.allocate netlist ~width rows in
+    let reduced_max_arrival = rows_max_arrival netlist final_rows in
+    let out = Dp_adders.Adder.build_rows adder netlist ~width final_rows in
+    finish ~reduced_max_arrival strategy netlist ~width out
+  | Fa_aot | Fa_aot_combined | Fa_aot_fa3 | Fa_alp | Fa_alp_combined
+  | Fa_random _ | Wallace | Dadda | Column_isolation ->
+    let matrix =
+      Dp_bitmatrix.Lower.lower ~config:lower_config netlist env expr ~width
+    in
+    allocate_matrix strategy netlist matrix;
+    let final_rows = Dp_bitmatrix.Matrix.operand_rows matrix in
+    let reduced_max_arrival = rows_max_arrival netlist final_rows in
+    let out = Dp_adders.Adder.build_rows adder netlist ~width final_rows in
+    finish ~reduced_max_arrival strategy netlist ~width out
+
+type port = { name : string; expr : Ast.t; width : int }
+
+type multi_result = {
+  strategy : Strategy.t;
+  netlist : Netlist.t;
+  ports : port list;
+  stats : Stats.t;
+  tree_switching : float;
+  total_switching : float;
+}
+
+(* Synthesize several outputs into ONE netlist.  Inputs and — through the
+   builder's structural hashing — partial-product gates are shared across
+   outputs; each output gets its own FA-tree and final adder.  This is the
+   paper's "applying our algorithm to all arithmetic expressions in a
+   circuit iteratively". *)
+let run_multi ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
+    ?(lower_config = Dp_bitmatrix.Lower.default_config) strategy env ports =
+  (match ports with [] -> invalid_arg "Synth.run_multi: no outputs" | _ :: _ -> ());
+  let netlist = Netlist.create ~tech in
+  List.iter
+    (fun p ->
+      let out =
+        match (strategy : Strategy.t) with
+        | Conventional ->
+          let config = { Dp_baselines.Conventional.default_config with adder } in
+          Dp_baselines.Conventional.synthesize ~config netlist env p.expr
+            ~width:p.width
+        | Csa_opt ->
+          let matrix =
+            Dp_bitmatrix.Lower.lower ~config:lower_config netlist env p.expr
+              ~width:p.width
+          in
+          let rows = Dp_baselines.Rows.of_matrix ~width:p.width matrix in
+          let final_rows = Dp_baselines.Csa_opt.allocate netlist ~width:p.width rows in
+          Dp_adders.Adder.build_rows adder netlist ~width:p.width final_rows
+        | Fa_aot | Fa_aot_combined | Fa_aot_fa3 | Fa_alp | Fa_alp_combined
+        | Fa_random _ | Wallace | Dadda | Column_isolation ->
+          let matrix =
+            Dp_bitmatrix.Lower.lower ~config:lower_config netlist env p.expr
+              ~width:p.width
+          in
+          allocate_matrix strategy netlist matrix;
+          Dp_adders.Adder.build_rows adder netlist ~width:p.width
+            (Dp_bitmatrix.Matrix.operand_rows matrix)
+      in
+      Netlist.set_output netlist p.name out)
+    ports;
+  {
+    strategy;
+    netlist;
+    ports;
+    stats = Stats.of_netlist netlist;
+    tree_switching = Dp_power.Switching.tree_switching netlist;
+    total_switching = Dp_power.Switching.total_switching netlist;
+  }
+
+(* Try every final-adder architecture and keep the fastest netlist — the
+   flow-level analogue of letting downstream logic synthesis restructure
+   the final CPA for the tree's output arrival profile. *)
+let run_best_adder ?tech ?lower_config ?width strategy env expr =
+  let candidates =
+    List.map
+      (fun adder -> run ?tech ~adder ?lower_config ?width strategy env expr)
+      Dp_adders.Adder.all
+  in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun (best : result) (r : result) ->
+        if r.stats.delay < best.stats.delay then r else best)
+      first rest
+
+let verify_multi ?(trials = 120) ?env (result : multi_result) =
+  let signed =
+    match env with
+    | None -> fun (_ : string) -> false
+    | Some env -> fun x -> Env.mem x env && Env.is_signed x env
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | p :: rest -> (
+      match
+        Dp_sim.Equiv.check_random ~signed ~trials result.netlist p.expr
+          ~output:p.name ~width:p.width
+      with
+      | Ok () -> go rest
+      | Error m -> Error (p.name, m))
+  in
+  go result.ports
+
+let verify ?(trials = 200) ?env (result : result) expr =
+  let signed =
+    match env with
+    | None -> fun (_ : string) -> false
+    | Some env -> fun x -> Env.mem x env && Env.is_signed x env
+  in
+  Dp_sim.Equiv.check_random ~signed ~trials result.netlist expr
+    ~output:result.output ~width:result.width

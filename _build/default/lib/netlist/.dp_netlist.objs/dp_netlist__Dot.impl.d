@@ -1,0 +1,1 @@
+lib/netlist/dot.ml: Array Buffer Dp_tech List Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Bool Dp_tech Float Hashtbl Int List Printf Vec

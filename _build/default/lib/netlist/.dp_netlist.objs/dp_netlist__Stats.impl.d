@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Dp_tech Fmt Hashtbl List Netlist Option Printf String Topo

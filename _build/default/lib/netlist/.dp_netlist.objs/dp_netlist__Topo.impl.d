@@ -1,0 +1,1 @@
+lib/netlist/topo.ml: Array List Netlist

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Dp_tech List Netlist Printf String

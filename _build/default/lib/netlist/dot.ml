@@ -1,0 +1,43 @@
+let emit ?(graph_name = "netlist") netlist =
+  let buffer = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
+  line "digraph %s {" graph_name;
+  line "  rankdir=LR;";
+  line "  node [fontname=\"monospace\"];";
+  (* primary inputs and constants referenced anywhere *)
+  for net = 0 to Netlist.net_count netlist - 1 do
+    match Netlist.driver netlist net with
+    | Netlist.From_input { var; bit } ->
+      line "  net%d [shape=plaintext, label=\"%s[%d]\"];" net var bit
+    | Netlist.From_const b ->
+      line "  net%d [shape=plaintext, label=\"%c\"];" net (if b then '1' else '0')
+    | Netlist.From_cell _ -> ()
+  done;
+  Netlist.iter_cells
+    (fun id (c : Netlist.cell) ->
+      line "  cell%d [shape=box, label=\"%s\"];" id (Dp_tech.Cell_kind.name c.kind);
+      Array.iter
+        (fun input ->
+          match Netlist.driver netlist input with
+          | Netlist.From_cell { cell; port } ->
+            line "  cell%d -> cell%d [label=\"%s\"];" cell id
+              (if port = 0 then "s" else "c")
+          | Netlist.From_input _ | Netlist.From_const _ ->
+            line "  net%d -> cell%d;" input id)
+        c.inputs)
+    netlist;
+  List.iter
+    (fun (name, nets) ->
+      Array.iteri
+        (fun bit net ->
+          line "  out_%s_%d [shape=plaintext, label=\"%s[%d]\"];" name bit name bit;
+          match Netlist.driver netlist net with
+          | Netlist.From_cell { cell; port } ->
+            line "  cell%d -> out_%s_%d [label=\"%s\"];" cell name bit
+              (if port = 0 then "s" else "c")
+          | Netlist.From_input _ | Netlist.From_const _ ->
+            line "  net%d -> out_%s_%d;" net name bit)
+        nets)
+    (Netlist.outputs netlist);
+  line "}";
+  Buffer.contents buffer

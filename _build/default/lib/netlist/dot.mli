@@ -1,0 +1,3 @@
+(** Graphviz rendering of a netlist, for inspecting FA-tree shapes. *)
+
+val emit : ?graph_name:string -> Netlist.t -> string

@@ -1,0 +1,272 @@
+type net = int
+
+type driver =
+  | From_input of { var : string; bit : int }
+  | From_const of bool
+  | From_cell of { cell : int; port : int }
+
+type cell = { kind : Dp_tech.Cell_kind.t; inputs : net array }
+
+type t = {
+  tech : Dp_tech.Tech.t;
+  drivers : driver Vec.t;
+  arrival : float Vec.t;
+  prob : float Vec.t;
+  cells : cell Vec.t;
+  cell_outputs : net array Vec.t;
+  mutable inputs : (string * net array) list;  (* reverse declaration order *)
+  mutable outputs : (string * net array) list;  (* reverse declaration order *)
+  mutable const_false : net option;
+  mutable const_true : net option;
+  not_cache : (net, net) Hashtbl.t;
+  and_cache : (net list, net) Hashtbl.t;
+  or_cache : (net list, net) Hashtbl.t;
+}
+
+let create ~tech =
+  {
+    tech;
+    drivers = Vec.create ~dummy:(From_const false);
+    arrival = Vec.create ~dummy:0.0;
+    prob = Vec.create ~dummy:0.0;
+    cells = Vec.create ~dummy:{ kind = Dp_tech.Cell_kind.Buf; inputs = [||] };
+    cell_outputs = Vec.create ~dummy:[||];
+    inputs = [];
+    outputs = [];
+    const_false = None;
+    const_true = None;
+    not_cache = Hashtbl.create 64;
+    and_cache = Hashtbl.create 64;
+    or_cache = Hashtbl.create 64;
+  }
+
+let tech t = t.tech
+let net_count t = Vec.length t.drivers
+let cell_count t = Vec.length t.cells
+let driver t n = Vec.get t.drivers n
+let arrival t n = Vec.get t.arrival n
+let prob t n = Vec.get t.prob n
+let q t n = prob t n -. 0.5
+let cell t i = Vec.get t.cells i
+let cell_output_nets t i = Vec.get t.cell_outputs i
+
+let new_net t ~driver ~arrival ~prob =
+  let n = Vec.push t.drivers driver in
+  let n' = Vec.push t.arrival arrival in
+  let n'' = Vec.push t.prob prob in
+  assert (n = n' && n = n'');
+  n
+
+let add_input ?arrival ?prob t name ~width =
+  if List.mem_assoc name t.inputs then
+    invalid_arg (Printf.sprintf "Netlist.add_input: duplicate input %s" name);
+  let arr = match arrival with None -> Array.make width 0.0 | Some a -> a in
+  let pr = match prob with None -> Array.make width 0.5 | Some p -> p in
+  if Array.length arr <> width || Array.length pr <> width then
+    invalid_arg "Netlist.add_input: attribute length mismatch";
+  let nets =
+    Array.init width (fun bit ->
+        new_net t
+          ~driver:(From_input { var = name; bit })
+          ~arrival:arr.(bit) ~prob:pr.(bit))
+  in
+  t.inputs <- (name, nets) :: t.inputs;
+  nets
+
+let const t b =
+  let cached = if b then t.const_true else t.const_false in
+  match cached with
+  | Some n -> n
+  | None ->
+    let n =
+      new_net t ~driver:(From_const b) ~arrival:0.0
+        ~prob:(if b then 1.0 else 0.0)
+    in
+    if b then t.const_true <- Some n else t.const_false <- Some n;
+    n
+
+let is_const t n b =
+  match driver t n with From_const v -> Bool.equal v b | From_input _ | From_cell _ -> false
+
+let const_value t n =
+  match driver t n with From_const v -> Some v | From_input _ | From_cell _ -> None
+
+(* Instantiate a cell, creating one net per output with arrival/probability
+   computed incrementally from the technology and the formulas of the
+   paper's Secs. 3.1 and 4.2. *)
+let add_cell t kind inputs ~out_probs =
+  let arity = Dp_tech.Cell_kind.arity kind in
+  if Array.length inputs <> arity then
+    invalid_arg "Netlist.add_cell: arity mismatch";
+  let in_arrival =
+    Array.fold_left (fun acc n -> Float.max acc (arrival t n)) neg_infinity inputs
+  in
+  let cell_id = Vec.push t.cells { kind; inputs } in
+  let outs =
+    Array.init (Dp_tech.Cell_kind.output_count kind) (fun port ->
+        new_net t
+          ~driver:(From_cell { cell = cell_id; port })
+          ~arrival:(in_arrival +. Dp_tech.Tech.delay t.tech kind ~port)
+          ~prob:out_probs.(port))
+  in
+  let id' = Vec.push t.cell_outputs outs in
+  assert (id' = cell_id);
+  outs
+
+let not_ t a =
+  match const_value t a with
+  | Some b -> const t (not b)
+  | None -> (
+    match Hashtbl.find_opt t.not_cache a with
+    | Some n -> n
+    | None ->
+      let n =
+        match driver t a with
+        | From_cell { cell; port } when
+            Dp_tech.Cell_kind.equal (Vec.get t.cells cell).kind
+              Dp_tech.Cell_kind.Not && port = 0 ->
+          (* double negation: reuse the NOT's input *)
+          (Vec.get t.cells cell).inputs.(0)
+        | From_cell _ | From_input _ | From_const _ ->
+          (add_cell t Dp_tech.Cell_kind.Not [| a |]
+             ~out_probs:[| 1.0 -. prob t a |]).(0)
+      in
+      Hashtbl.add t.not_cache a n;
+      n)
+
+let buf t a =
+  (add_cell t Dp_tech.Cell_kind.Buf [| a |] ~out_probs:[| prob t a |]).(0)
+
+(* Shared n-ary gate construction: constant folding, duplicate removal,
+   structural hashing on the sorted input list. *)
+let nary t ~cache ~kind_of ~unit_const ~absorbing_const ~prob_of nets =
+  let nets = List.filter (fun n -> not (is_const t n unit_const)) nets in
+  if List.exists (fun n -> is_const t n absorbing_const) nets then
+    const t absorbing_const
+  else
+    let nets = List.sort_uniq Int.compare nets in
+    match nets with
+    | [] -> const t unit_const
+    | [ n ] -> n
+    | _ -> (
+      match Hashtbl.find_opt cache nets with
+      | Some n -> n
+      | None ->
+        let arity = List.length nets in
+        let p = prob_of (List.map (prob t) nets) in
+        let outs =
+          add_cell t (kind_of arity) (Array.of_list nets) ~out_probs:[| p |]
+        in
+        Hashtbl.add cache nets outs.(0);
+        outs.(0))
+
+let and_n t nets =
+  nary t ~cache:t.and_cache
+    ~kind_of:(fun n -> Dp_tech.Cell_kind.And_n n)
+    ~unit_const:true ~absorbing_const:false
+    ~prob_of:(List.fold_left ( *. ) 1.0)
+    nets
+
+let or_n t nets =
+  nary t ~cache:t.or_cache
+    ~kind_of:(fun n -> Dp_tech.Cell_kind.Or_n n)
+    ~unit_const:false ~absorbing_const:true
+    ~prob_of:(fun ps -> 1.0 -. List.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 ps)
+    nets
+
+let xor2_prob pa pb = pa +. pb -. (2.0 *. pa *. pb)
+
+let rec xor2 t a b =
+  match const_value t a, const_value t b with
+  | Some va, Some vb -> const t (va <> vb)
+  | Some false, None -> b
+  | Some true, None -> not_ t b
+  | None, Some false -> a
+  | None, Some true -> not_ t a
+  | None, None ->
+    if a = b then const t false
+    else
+      let a, b = if a <= b then a, b else b, a in
+      (add_cell t (Dp_tech.Cell_kind.Xor_n 2) [| a; b |]
+         ~out_probs:[| xor2_prob (prob t a) (prob t b) |]).(0)
+
+and xor_n t nets =
+  match nets with
+  | [] -> const t false
+  | [ n ] -> n
+  | first :: rest -> List.fold_left (xor2 t) first rest
+
+(* Half adder with constant elimination: HA(x,0) = (x, 0); HA(x,1) = (~x, x). *)
+let rec ha t a b =
+  match const_value t a, const_value t b with
+  | Some _, None -> ha t b a
+  | None, Some false -> a, const t false
+  | None, Some true -> not_ t a, a
+  | Some va, Some vb -> const t (va <> vb), const t (va && vb)
+  | None, None ->
+    let qa = q t a and qb = q t b in
+    let p_sum = 0.5 -. (2.0 *. qa *. qb) in
+    let p_carry = 0.25 +. (qa *. qb) +. (0.5 *. (qa +. qb)) in
+    let outs =
+      add_cell t Dp_tech.Cell_kind.Ha [| a; b |]
+        ~out_probs:[| p_sum; p_carry |]
+    in
+    outs.(0), outs.(1)
+
+(* Full adder.  Constant inputs degrade it: FA(x,y,0) = HA(x,y) and
+   FA(x,y,1) = (~(x^y), x|y). *)
+let fa t a b c =
+  let consts, vars =
+    List.partition (fun n -> const_value t n <> None) [ a; b; c ]
+  in
+  let const_sum =
+    List.fold_left
+      (fun acc n -> if is_const t n true then acc + 1 else acc)
+      0 consts
+  in
+  match vars, const_sum with
+  | [], k -> const t (k land 1 = 1), const t (k >= 2)
+  | [ x ], 0 -> x, const t false
+  | [ x ], 1 -> not_ t x, x
+  | [ x ], _ -> x, const t true
+  | [ x; y ], 0 -> ha t x y
+  | [ x; y ], _ ->
+    (* sum = ~(x^y), carry = x|y *)
+    not_ t (xor2 t x y), or_n t [ x; y ]
+  | x :: y :: z :: _, _ ->
+    ignore (x, y, z);
+    let qx = q t a and qy = q t b and qz = q t c in
+    (* Paper Sec. 4.2: q(s) = 4 qx qy qz;
+       q(c) = 0.5 (qx + qy + qz) - 2 qx qy qz. *)
+    let p_sum = 0.5 +. (4.0 *. qx *. qy *. qz) in
+    let p_carry = 0.5 +. (0.5 *. (qx +. qy +. qz)) -. (2.0 *. qx *. qy *. qz) in
+    let outs =
+      add_cell t Dp_tech.Cell_kind.Fa [| a; b; c |]
+        ~out_probs:[| p_sum; p_carry |]
+    in
+    outs.(0), outs.(1)
+
+let set_output t name nets =
+  if List.mem_assoc name t.outputs then
+    invalid_arg (Printf.sprintf "Netlist.set_output: duplicate output %s" name);
+  t.outputs <- (name, Array.copy nets) :: t.outputs
+
+let inputs t = List.rev t.inputs
+let outputs t = List.rev t.outputs
+
+let find_output t name =
+  match List.assoc_opt name t.outputs with
+  | Some nets -> nets
+  | None -> invalid_arg (Printf.sprintf "Netlist.find_output: no output %s" name)
+
+let iter_cells f t = Vec.iteri f t.cells
+let fold_cells f acc t = Vec.fold f acc t.cells
+
+let area t =
+  fold_cells (fun acc c -> acc +. Dp_tech.Tech.area t.tech c.kind) 0.0 t
+
+let max_output_arrival t =
+  List.fold_left
+    (fun acc (_, nets) ->
+      Array.fold_left (fun acc n -> Float.max acc (arrival t n)) acc nets)
+    neg_infinity (outputs t)

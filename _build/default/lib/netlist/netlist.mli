@@ -1,0 +1,92 @@
+(** Gate-level netlist with build-time annotation.
+
+    A netlist is a growable set of nets (single-bit signals) driven by
+    primary inputs, constants, or cell output ports.  FA/HA cells have two
+    output ports (sum = port 0, carry = port 1); all other cells have one.
+
+    The builder computes each new net's {e arrival time} (from the
+    technology's pin-to-pin delays, Sec. 3.1 of the paper) and {e
+    1-probability} (zero-delay model, Sec. 4.1) at creation, because the
+    allocation algorithms select among nets they have just created.  The
+    [Dp_timing.Sta] and [Dp_power.Prob] engines recompute both from scratch
+    as an independent cross-check.
+
+    Gate constructors perform light structural simplification: constant
+    folding, duplicate-input removal, double-negation elimination, and
+    structural hashing of NOT/AND/OR gates.  A full adder with a constant
+    input degrades to a half adder (and further to plain gates), which is
+    how the pseudo-zero addend of algorithm SC_LP turns into an HA. *)
+
+type net = int
+
+type driver =
+  | From_input of { var : string; bit : int }
+  | From_const of bool
+  | From_cell of { cell : int; port : int }
+
+type cell = { kind : Dp_tech.Cell_kind.t; inputs : net array }
+type t
+
+val create : tech:Dp_tech.Tech.t -> t
+val tech : t -> Dp_tech.Tech.t
+val net_count : t -> int
+val cell_count : t -> int
+val driver : t -> net -> driver
+
+(** Arrival time annotated at construction. *)
+val arrival : t -> net -> float
+
+(** 1-probability annotated at construction. *)
+val prob : t -> net -> float
+
+(** [prob t n -. 0.5] — the paper's q-value. *)
+val q : t -> net -> float
+
+val cell : t -> int -> cell
+
+(** Output nets of a cell, indexed by port. *)
+val cell_output_nets : t -> int -> net array
+
+(** Declare a primary input bus; returns its nets, LSB first.  Arrivals
+    default to 0.0 and probabilities to 0.5.
+    @raise Invalid_argument on duplicate names or length mismatches. *)
+val add_input :
+  ?arrival:float array -> ?prob:float array -> t -> string -> width:int -> net array
+
+(** The constant net (cached; at most one of each polarity exists). *)
+val const : t -> bool -> net
+
+val is_const : t -> net -> bool -> bool
+val const_value : t -> net -> bool option
+val not_ : t -> net -> net
+val buf : t -> net -> net
+val and_n : t -> net list -> net
+val or_n : t -> net list -> net
+val xor2 : t -> net -> net -> net
+val xor_n : t -> net list -> net
+
+(** [ha t a b] is [(sum, carry)]. *)
+val ha : t -> net -> net -> net * net
+
+(** [fa t a b c] is [(sum, carry)]. *)
+val fa : t -> net -> net -> net -> net * net
+
+(** @raise Invalid_argument on duplicate names. *)
+val set_output : t -> string -> net array -> unit
+
+(** Declared inputs/outputs in declaration order. *)
+val inputs : t -> (string * net array) list
+
+val outputs : t -> (string * net array) list
+
+(** @raise Invalid_argument if absent. *)
+val find_output : t -> string -> net array
+
+val iter_cells : (int -> cell -> unit) -> t -> unit
+val fold_cells : ('acc -> cell -> 'acc) -> 'acc -> t -> 'acc
+
+(** Total cell area under the netlist's technology. *)
+val area : t -> float
+
+(** Latest arrival over all declared output nets. *)
+val max_output_arrival : t -> float

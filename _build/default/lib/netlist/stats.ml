@@ -1,0 +1,69 @@
+type t = {
+  nets : int;
+  cells : int;
+  fa_count : int;
+  ha_count : int;
+  gate_count : int;
+  area : float;
+  depth : int;
+  delay : float;
+}
+
+let kind_counts netlist =
+  let table = Hashtbl.create 16 in
+  Netlist.iter_cells
+    (fun _ (c : Netlist.cell) ->
+      let prev = Option.value (Hashtbl.find_opt table c.kind) ~default:0 in
+      Hashtbl.replace table c.kind (prev + 1))
+    netlist;
+  Hashtbl.fold (fun kind count acc -> (kind, count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) ->
+         String.compare (Dp_tech.Cell_kind.name a) (Dp_tech.Cell_kind.name b))
+
+let count_kind netlist pred =
+  Netlist.fold_cells
+    (fun acc (c : Netlist.cell) -> if pred c.kind then acc + 1 else acc)
+    0 netlist
+
+let of_netlist netlist =
+  let open Dp_tech.Cell_kind in
+  {
+    nets = Netlist.net_count netlist;
+    cells = Netlist.cell_count netlist;
+    fa_count = count_kind netlist (function Fa -> true | Ha | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> false);
+    ha_count = count_kind netlist (function Ha -> true | Fa | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> false);
+    gate_count =
+      count_kind netlist (function
+        | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> true
+        | Fa | Ha -> false);
+    area = Netlist.area netlist;
+    depth = Topo.depth netlist;
+    delay = Netlist.max_output_arrival netlist;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "delay %.2f ns, area %.0f units, %d FA, %d HA, %d gates, depth %d, %d nets"
+    s.delay s.area s.fa_count s.ha_count s.gate_count s.depth s.nets
+
+let net_name netlist net =
+  match Netlist.driver netlist net with
+  | Netlist.From_input { var; bit } -> Printf.sprintf "%s[%d]" var bit
+  | Netlist.From_const b -> if b then "1" else "0"
+  | Netlist.From_cell _ -> Printf.sprintf "n%d" net
+
+let pp_cells ppf netlist =
+  Netlist.iter_cells
+    (fun id (c : Netlist.cell) ->
+      let outs = Netlist.cell_output_nets netlist id in
+      let pp_net ppf n = Fmt.string ppf (net_name netlist n) in
+      let pp_out ppf n =
+        Fmt.pf ppf "%a@%.2f" pp_net n (Netlist.arrival netlist n)
+      in
+      Fmt.pf ppf "%a(%a) -> %a@."
+        Dp_tech.Cell_kind.pp c.kind
+        Fmt.(array ~sep:(any ", ") pp_net)
+        c.inputs
+        Fmt.(array ~sep:(any ", ") pp_out)
+        outs)
+    netlist

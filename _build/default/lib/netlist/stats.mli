@@ -1,0 +1,24 @@
+(** Summary statistics of a netlist: the delay/area columns of the paper's
+    Table 1 are computed from these. *)
+
+type t = {
+  nets : int;
+  cells : int;
+  fa_count : int;
+  ha_count : int;
+  gate_count : int;  (** cells other than FA/HA *)
+  area : float;
+  depth : int;  (** logic levels *)
+  delay : float;  (** latest output arrival (ns) *)
+}
+
+val kind_counts : Netlist.t -> (Dp_tech.Cell_kind.t * int) list
+val of_netlist : Netlist.t -> t
+val pp : t Fmt.t
+
+(** Printable name of a net: [var\[bit\]], [0]/[1], or [n<id>]. *)
+val net_name : Netlist.t -> Netlist.net -> string
+
+(** One line per cell with output arrival times — used to render the
+    paper's figure examples. *)
+val pp_cells : Netlist.t Fmt.t

@@ -1,0 +1,59 @@
+let check netlist =
+  (* Builder invariant: cells only consume already-existing nets, so every
+     input net id is smaller than every output net id of the same cell. *)
+  let ok = ref true in
+  Netlist.iter_cells
+    (fun id (c : Netlist.cell) ->
+      let outs = Netlist.cell_output_nets netlist id in
+      let min_out = Array.fold_left min max_int outs in
+      Array.iter (fun input -> if input >= min_out then ok := false) c.inputs)
+    netlist;
+  !ok
+
+let levels netlist =
+  let n = Netlist.net_count netlist in
+  let level = Array.make n 0 in
+  (* Nets are created in topological order, so one forward pass suffices. *)
+  for net = 0 to n - 1 do
+    match Netlist.driver netlist net with
+    | Netlist.From_input _ | Netlist.From_const _ -> level.(net) <- 0
+    | Netlist.From_cell { cell; port = _ } ->
+      let c = Netlist.cell netlist cell in
+      let max_in =
+        Array.fold_left (fun acc input -> max acc level.(input)) 0 c.inputs
+      in
+      level.(net) <- max_in + 1
+  done;
+  level
+
+let depth netlist =
+  let level = levels netlist in
+  List.fold_left
+    (fun acc (_, nets) ->
+      Array.fold_left (fun acc net -> max acc level.(net)) acc nets)
+    0
+    (Netlist.outputs netlist)
+
+let critical_path netlist ~from =
+  (* Walk back from [from] through, at each cell, the input with the latest
+     arrival; report nets root-first. *)
+  let rec walk net acc =
+    let acc = net :: acc in
+    match Netlist.driver netlist net with
+    | Netlist.From_input _ | Netlist.From_const _ -> acc
+    | Netlist.From_cell { cell; port = _ } ->
+      let c = Netlist.cell netlist cell in
+      let worst =
+        Array.fold_left
+          (fun acc input ->
+            match acc with
+            | None -> Some input
+            | Some best ->
+              if Netlist.arrival netlist input > Netlist.arrival netlist best
+              then Some input
+              else acc)
+          None c.inputs
+      in
+      (match worst with None -> acc | Some input -> walk input acc)
+  in
+  walk from []

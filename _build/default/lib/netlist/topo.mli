@@ -1,0 +1,15 @@
+(** Structural checks and level analysis.  Nets are created in topological
+    order by construction; these utilities verify and exploit that. *)
+
+(** True iff every cell consumes only nets created before its outputs. *)
+val check : Netlist.t -> bool
+
+(** Logic level per net: 0 for inputs/constants, 1 + max over fanin
+    otherwise.  Indexed by net id. *)
+val levels : Netlist.t -> int array
+
+(** Maximum logic level over all declared outputs. *)
+val depth : Netlist.t -> int
+
+(** Nets of the latest-arrival path ending at [from], listed source first. *)
+val critical_path : Netlist.t -> from:Netlist.net -> Netlist.net list

@@ -1,0 +1,45 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ~dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+let length v = v.len
+
+let ensure_capacity v n =
+  if n > Array.length v.data then begin
+    let cap = max n (2 * Array.length v.data) in
+    let data = Array.make cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure_capacity v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set: index out of bounds";
+  v.data.(i) <- x
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v = List.init v.len (fun i -> v.data.(i))

@@ -1,0 +1,8 @@
+(** Structural Verilog emission.
+
+    The paper's tool emitted the allocated FA-tree as a Verilog netlist for
+    Synopsys; we emit the same style: vector ports, one primitive gate or
+    [DP_FA]/[DP_HA] instance per cell, with the FA/HA module definitions
+    appended when used. *)
+
+val emit : ?module_name:string -> Netlist.t -> string

@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.ml: Array Dp_netlist Dp_tech Float Fmt List Netlist Printf

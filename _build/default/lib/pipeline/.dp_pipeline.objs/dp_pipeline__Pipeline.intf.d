@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.mli: Dp_netlist Fmt Netlist

@@ -1,0 +1,27 @@
+(** Cycle-time-driven pipeline planning over a combinational netlist.
+
+    ASAP staging: every net gets a pipeline stage and an intra-stage
+    arrival such that no stage's combinational depth exceeds the cycle
+    time.  The plan is analytic — registers are counted, not inserted —
+    and reports the latency/register-cost trade-off the designer faces for
+    a given FA-tree shape. *)
+
+open Dp_netlist
+
+type plan = {
+  cycle_time : float;
+  latency : int;  (** pipeline stages; 1 = fits in one cycle *)
+  stage_of_net : int array;
+  local_arrival : float array;  (** arrival within the net's stage *)
+  stage_delay : float array;  (** critical intra-stage delay per stage *)
+  register_bits : int;  (** total pipeline register bits *)
+}
+
+(** Smallest feasible cycle time: the slowest single cell. *)
+val min_cycle_time : Netlist.t -> float
+
+(** @raise Invalid_argument when the cycle time is non-positive or below
+    {!min_cycle_time}. *)
+val plan : Netlist.t -> cycle_time:float -> plan
+
+val pp : plan Fmt.t

@@ -1,0 +1,1 @@
+lib/power/prob.ml: Array Dp_netlist Dp_tech Float Netlist

@@ -1,0 +1,1 @@
+lib/power/prob.mli: Dp_netlist Netlist

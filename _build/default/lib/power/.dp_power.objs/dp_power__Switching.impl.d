@@ -1,0 +1,1 @@
+lib/power/switching.ml: Array Dp_netlist Dp_tech Netlist

@@ -1,0 +1,1 @@
+lib/power/switching.mli: Dp_netlist Netlist

@@ -1,0 +1,64 @@
+open Dp_netlist
+
+let fa_sum_q qx qy qz = 4.0 *. qx *. qy *. qz
+
+let fa_carry_q qx qy qz =
+  (0.5 *. (qx +. qy +. qz)) -. (2.0 *. qx *. qy *. qz)
+
+let ha_sum_q qx qy = fa_sum_q qx qy (-0.5)
+let ha_carry_q qx qy = fa_carry_q qx qy (-0.5)
+
+let cell_output_prob (c : Netlist.cell) probs ~port =
+  let p i = probs.(c.inputs.(i)) in
+  let qv i = p i -. 0.5 in
+  match c.kind, port with
+  | Dp_tech.Cell_kind.Fa, 0 -> 0.5 +. fa_sum_q (qv 0) (qv 1) (qv 2)
+  | Dp_tech.Cell_kind.Fa, 1 -> 0.5 +. fa_carry_q (qv 0) (qv 1) (qv 2)
+  | Dp_tech.Cell_kind.Ha, 0 -> 0.5 +. ha_sum_q (qv 0) (qv 1)
+  | Dp_tech.Cell_kind.Ha, 1 -> 0.5 +. ha_carry_q (qv 0) (qv 1)
+  | Dp_tech.Cell_kind.And_n n, 0 ->
+    let acc = ref 1.0 in
+    for i = 0 to n - 1 do
+      acc := !acc *. p i
+    done;
+    !acc
+  | Dp_tech.Cell_kind.Or_n n, 0 ->
+    let acc = ref 1.0 in
+    for i = 0 to n - 1 do
+      acc := !acc *. (1.0 -. p i)
+    done;
+    1.0 -. !acc
+  | Dp_tech.Cell_kind.Xor_n n, 0 ->
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let pi = p i in
+      acc := !acc +. pi -. (2.0 *. !acc *. pi)
+    done;
+    !acc
+  | Dp_tech.Cell_kind.Not, 0 -> 1.0 -. p 0
+  | Dp_tech.Cell_kind.Buf, 0 -> p 0
+  | ( Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.And_n _
+    | Dp_tech.Cell_kind.Or_n _ | Dp_tech.Cell_kind.Xor_n _
+    | Dp_tech.Cell_kind.Not | Dp_tech.Cell_kind.Buf ), _ ->
+    invalid_arg "Prob.cell_output_prob: bad port"
+
+let probabilities netlist =
+  let n = Netlist.net_count netlist in
+  let probs = Array.make n 0.0 in
+  for net = 0 to n - 1 do
+    match Netlist.driver netlist net with
+    | Netlist.From_input _ -> probs.(net) <- Netlist.prob netlist net
+    | Netlist.From_const b -> probs.(net) <- (if b then 1.0 else 0.0)
+    | Netlist.From_cell { cell; port } ->
+      probs.(net) <- cell_output_prob (Netlist.cell netlist cell) probs ~port
+  done;
+  probs
+
+let agrees_with_annotation ?(eps = 1e-9) netlist =
+  let recomputed = probabilities netlist in
+  let ok = ref true in
+  Array.iteri
+    (fun net p ->
+      if Float.abs (p -. Netlist.prob netlist net) > eps then ok := false)
+    recomputed;
+  !ok

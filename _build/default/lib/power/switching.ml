@@ -1,0 +1,47 @@
+open Dp_netlist
+
+let activity p = p *. (1.0 -. p)
+
+let net_activity netlist net = activity (Netlist.prob netlist net)
+
+let tree_switching netlist =
+  (* The paper's E_switching(T) (Sec. 4.2): sum over FA (and HA) cells of
+     Ws * E(sum) + Wc * E(carry). *)
+  let tech = Netlist.tech netlist in
+  let total = ref 0.0 in
+  Netlist.iter_cells
+    (fun id (c : Netlist.cell) ->
+      match c.kind with
+      | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha ->
+        let outs = Netlist.cell_output_nets netlist id in
+        Array.iteri
+          (fun port net ->
+            let w = Dp_tech.Tech.energy tech c.kind ~port in
+            total := !total +. (w *. net_activity netlist net))
+          outs
+      | Dp_tech.Cell_kind.And_n _ | Dp_tech.Cell_kind.Or_n _
+      | Dp_tech.Cell_kind.Xor_n _ | Dp_tech.Cell_kind.Not
+      | Dp_tech.Cell_kind.Buf -> ())
+    netlist;
+  !total
+
+let total_switching netlist =
+  let tech = Netlist.tech netlist in
+  let total = ref 0.0 in
+  Netlist.iter_cells
+    (fun id (c : Netlist.cell) ->
+      let outs = Netlist.cell_output_nets netlist id in
+      Array.iteri
+        (fun port net ->
+          let w = Dp_tech.Tech.energy tech c.kind ~port in
+          total := !total +. (w *. net_activity netlist net))
+        outs)
+    netlist;
+  !total
+
+(* A nominal scale factor turning the dimensionless energy-weighted activity
+   into milliwatt-like magnitudes comparable to the paper's Table 2 (which
+   used 3.3 V at 0.35 um).  Only ratios are meaningful. *)
+let mw_scale = 6.0
+
+let milliwatts e = e *. mw_scale

@@ -1,0 +1,19 @@
+(** Switching-activity power metric of Sec. 4.2:
+    E(x) = p(x)(1 − p(x)) per net, and
+    E_switching(T) = Σ over FA/HA cells of Ws·E(sum) + Wc·E(carry). *)
+
+open Dp_netlist
+
+val activity : float -> float
+val net_activity : Netlist.t -> Netlist.net -> float
+
+(** The paper's E_switching(T): FA/HA output activity, energy-weighted. *)
+val tree_switching : Netlist.t -> float
+
+(** Every cell output's activity, energy-weighted — includes the partial
+    product gates and any final-adder logic. *)
+val total_switching : Netlist.t -> float
+
+(** Nominal conversion of the activity metric to mW-like magnitudes for the
+    Table 2 reproduction; only ratios are meaningful. *)
+val milliwatts : float -> float

@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Array Dp_expr Dp_netlist Fmt List Netlist Random Simulator

@@ -1,0 +1,1 @@
+lib/sim/equiv.mli: Dp_expr Dp_netlist Fmt Netlist

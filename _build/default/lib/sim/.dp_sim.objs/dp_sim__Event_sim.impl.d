@@ -1,0 +1,1 @@
+lib/sim/event_sim.ml: Array Dp_netlist Dp_tech Hashtbl Heap List Monte_carlo Netlist Random Simulator

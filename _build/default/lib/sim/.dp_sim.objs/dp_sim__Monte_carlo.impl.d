@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.ml: Array Dp_netlist Dp_tech Hashtbl List Netlist Random Simulator

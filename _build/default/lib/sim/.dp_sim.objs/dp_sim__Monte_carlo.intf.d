@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.mli: Dp_netlist Netlist

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Dp_netlist Dp_tech Netlist

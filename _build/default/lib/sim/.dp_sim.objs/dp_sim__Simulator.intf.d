@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Dp_netlist Netlist

@@ -1,0 +1,1 @@
+lib/sim/testbench.ml: Array Buffer Dp_netlist List Netlist Printf Random Simulator String

@@ -1,0 +1,1 @@
+lib/sim/testbench.mli: Dp_netlist Netlist

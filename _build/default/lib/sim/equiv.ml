@@ -1,0 +1,72 @@
+open Dp_netlist
+
+type mismatch = {
+  assignment : (string * int) list;
+  expected : int;
+  actual : int;
+}
+
+let pp_mismatch ppf m =
+  let pp_binding ppf (name, v) = Fmt.pf ppf "%s=%d" name v in
+  Fmt.pf ppf "under %a: expected %d, netlist computed %d"
+    Fmt.(list ~sep:(any ", ") pp_binding)
+    m.assignment m.expected m.actual
+
+let no_signed (_ : string) = false
+
+let check_assignment ?(signed = no_signed) netlist expr ~output ~width alist =
+  let widths =
+    List.map (fun (name, nets) -> name, Array.length nets) (Netlist.inputs netlist)
+  in
+  let interpret x =
+    let raw = List.assoc x alist in
+    if signed x then
+      Dp_expr.Eval.signed_of_pattern ~width:(List.assoc x widths) raw
+    else raw
+  in
+  let expected = Dp_expr.Eval.eval_mod ~width interpret expr in
+  let actual =
+    Simulator.eval_output netlist ~assign:(fun x -> List.assoc x alist) output
+  in
+  if expected = actual then Ok () else Error { assignment = alist; expected; actual }
+
+let input_widths netlist =
+  List.map (fun (name, nets) -> name, Array.length nets) (Netlist.inputs netlist)
+
+let random_assignment rng widths =
+  List.map (fun (name, w) -> name, Random.State.int rng (1 lsl w)) widths
+
+let check_random ?(seed = 0xC5A) ?signed ~trials netlist expr ~output ~width =
+  let rng = Random.State.make [| seed |] in
+  let widths = input_widths netlist in
+  let rec go i =
+    if i >= trials then Ok ()
+    else
+      match
+        check_assignment ?signed netlist expr ~output ~width
+          (random_assignment rng widths)
+      with
+      | Ok () -> go (i + 1)
+      | Error m -> Error m
+  in
+  go 0
+
+let check_exhaustive ?signed netlist expr ~output ~width =
+  let widths = input_widths netlist in
+  let total_bits = List.fold_left (fun acc (_, w) -> acc + w) 0 widths in
+  if total_bits > 22 then
+    invalid_arg "Equiv.check_exhaustive: input space too large";
+  let rec split code = function
+    | [] -> []
+    | (name, w) :: rest -> (name, code land Dp_expr.Eval.mask w) :: split (code lsr w) rest
+  in
+  let rec go code =
+    if code >= 1 lsl total_bits then Ok ()
+    else
+      match
+        check_assignment ?signed netlist expr ~output ~width (split code widths)
+      with
+      | Ok () -> go (code + 1)
+      | Error m -> Error m
+  in
+  go 0

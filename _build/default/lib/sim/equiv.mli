@@ -1,0 +1,35 @@
+(** Functional-equivalence checking: the synthesized netlist must compute
+    the source expression's value modulo 2^W for every input assignment.
+    This is the central correctness property of every allocation strategy. *)
+
+open Dp_netlist
+
+type mismatch = {
+  assignment : (string * int) list;
+  expected : int;
+  actual : int;
+}
+
+val pp_mismatch : mismatch Fmt.t
+
+(** Compare netlist output against [Dp_expr.Eval.eval_mod] for one
+    assignment (an association list of raw bit patterns covering every
+    input).  [signed] marks variables whose patterns must be interpreted in
+    two's complement when evaluating the expression (default: none). *)
+val check_assignment :
+  ?signed:(string -> bool) -> Netlist.t -> Dp_expr.Ast.t ->
+  output:string -> width:int ->
+  (string * int) list -> (unit, mismatch) result
+
+(** [trials] uniformly random assignments drawn from a seeded generator. *)
+val check_random :
+  ?seed:int -> ?signed:(string -> bool) -> trials:int ->
+  Netlist.t -> Dp_expr.Ast.t ->
+  output:string -> width:int -> (unit, mismatch) result
+
+(** Every assignment; requires the total input bit count to be at most 22.
+    @raise Invalid_argument otherwise. *)
+val check_exhaustive :
+  ?signed:(string -> bool) -> Netlist.t -> Dp_expr.Ast.t ->
+  output:string -> width:int ->
+  (unit, mismatch) result

@@ -1,0 +1,54 @@
+(* Binary min-heap on (time, payload); ties pop in arbitrary order. *)
+
+type 'a t = {
+  mutable data : (float * 'a) array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ~dummy = { data = Array.make 64 (0.0, dummy); len = 0; dummy }
+let length h = h.len
+let is_empty h = h.len = 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let push h time payload =
+  if h.len = Array.length h.data then begin
+    let data = Array.make (2 * h.len) (0.0, h.dummy) in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  h.data.(h.len) <- (time, payload);
+  h.len <- h.len + 1;
+  let i = ref (h.len - 1) in
+  while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let peek h =
+  if h.len = 0 then invalid_arg "Heap.peek: empty";
+  h.data.(0)
+
+let pop h =
+  if h.len = 0 then invalid_arg "Heap.pop: empty";
+  let top = h.data.(0) in
+  h.len <- h.len - 1;
+  h.data.(0) <- h.data.(h.len);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+    if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      swap h !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  top

@@ -1,0 +1,14 @@
+(** Binary min-heap keyed by time, for the event-driven simulator. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+(** @raise Invalid_argument when empty. *)
+val peek : 'a t -> float * 'a
+
+(** @raise Invalid_argument when empty. *)
+val pop : 'a t -> float * 'a

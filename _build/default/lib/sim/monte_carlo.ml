@@ -1,0 +1,69 @@
+open Dp_netlist
+
+type result = {
+  vectors : int;
+  toggle_rate : float array;  (* per net: toggles / (vectors - 1) *)
+}
+
+let random_vector rng netlist =
+  (* Draw each input bit independently with its annotated 1-probability. *)
+  let values = Hashtbl.create 16 in
+  List.iter
+    (fun (name, nets) ->
+      let v = ref 0 in
+      Array.iteri
+        (fun bit net ->
+          if Random.State.float rng 1.0 < Netlist.prob netlist net then
+            v := !v lor (1 lsl bit))
+        nets;
+      Hashtbl.replace values name !v)
+    (Netlist.inputs netlist);
+  fun name -> Hashtbl.find values name
+
+let toggle_rates ?(seed = 0x70661e) ~vectors netlist =
+  if vectors < 2 then invalid_arg "Monte_carlo.toggle_rates: need >= 2 vectors";
+  let rng = Random.State.make [| seed |] in
+  let n = Netlist.net_count netlist in
+  let toggles = Array.make n 0 in
+  let prev = ref (Simulator.run netlist ~assign:(random_vector rng netlist)) in
+  for _ = 2 to vectors do
+    let cur = Simulator.run netlist ~assign:(random_vector rng netlist) in
+    for net = 0 to n - 1 do
+      if cur.(net) <> !prev.(net) then toggles.(net) <- toggles.(net) + 1
+    done;
+    prev := cur
+  done;
+  {
+    vectors;
+    toggle_rate =
+      Array.map (fun t -> float_of_int t /. float_of_int (vectors - 1)) toggles;
+  }
+
+let measured_prob ?(seed = 0x70661e) ~vectors netlist =
+  if vectors < 1 then invalid_arg "Monte_carlo.measured_prob: need >= 1 vector";
+  let rng = Random.State.make [| seed |] in
+  let n = Netlist.net_count netlist in
+  let ones = Array.make n 0 in
+  for _ = 1 to vectors do
+    let values = Simulator.run netlist ~assign:(random_vector rng netlist) in
+    for net = 0 to n - 1 do
+      if values.(net) then ones.(net) <- ones.(net) + 1
+    done
+  done;
+  Array.map (fun o -> float_of_int o /. float_of_int vectors) ones
+
+let switching_energy netlist rates =
+  (* Under temporal independence the expected toggle rate of a net with
+     1-probability p is 2 p (1-p); the paper's E(x) = p(1-p) is half that,
+     so the measured equivalent of E_switching uses rate / 2. *)
+  let total = ref 0.0 in
+  Netlist.iter_cells
+    (fun id (c : Netlist.cell) ->
+      let outs = Netlist.cell_output_nets netlist id in
+      Array.iteri
+        (fun port net ->
+          let w = Dp_tech.Tech.energy (Netlist.tech netlist) c.kind ~port in
+          total := !total +. (w *. rates.(net) /. 2.0))
+        outs)
+    netlist;
+  !total

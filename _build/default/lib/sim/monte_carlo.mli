@@ -1,0 +1,23 @@
+(** Monte-Carlo validation of the analytic power model: simulate random
+    vectors drawn from the inputs' annotated 1-probabilities and count real
+    toggles.  With temporally independent vectors, a net of 1-probability p
+    toggles at expected rate 2p(1-p), i.e. twice the paper's switching
+    activity E(x) = p(1-p). *)
+
+open Dp_netlist
+
+type result = {
+  vectors : int;
+  toggle_rate : float array;  (** per net: toggles / (vectors − 1) *)
+}
+
+(** @raise Invalid_argument when [vectors < 2]. *)
+val toggle_rates : ?seed:int -> vectors:int -> Netlist.t -> result
+
+(** Fraction of vectors in which each net is 1 — the empirical signal
+    probability.  @raise Invalid_argument when [vectors < 1]. *)
+val measured_prob : ?seed:int -> vectors:int -> Netlist.t -> float array
+
+(** Energy-weighted total of measured cell-output switching, directly
+    comparable to [Dp_power.Switching.total]. *)
+val switching_energy : Netlist.t -> float array -> float

@@ -1,0 +1,62 @@
+open Dp_netlist
+
+let cell_outputs (c : Netlist.cell) values =
+  let v i = values.(c.inputs.(i)) in
+  match c.kind with
+  | Dp_tech.Cell_kind.Fa ->
+    let a = v 0 and b = v 1 and cin = v 2 in
+    let sum = a <> b <> cin in
+    let carry = (a && b) || (a && cin) || (b && cin) in
+    [| sum; carry |]
+  | Dp_tech.Cell_kind.Ha ->
+    let a = v 0 and b = v 1 in
+    [| a <> b; a && b |]
+  | Dp_tech.Cell_kind.And_n n ->
+    let acc = ref true in
+    for i = 0 to n - 1 do
+      acc := !acc && v i
+    done;
+    [| !acc |]
+  | Dp_tech.Cell_kind.Or_n n ->
+    let acc = ref false in
+    for i = 0 to n - 1 do
+      acc := !acc || v i
+    done;
+    [| !acc |]
+  | Dp_tech.Cell_kind.Xor_n n ->
+    let acc = ref false in
+    for i = 0 to n - 1 do
+      acc := !acc <> v i
+    done;
+    [| !acc |]
+  | Dp_tech.Cell_kind.Not -> [| not (v 0) |]
+  | Dp_tech.Cell_kind.Buf -> [| v 0 |]
+
+let run netlist ~assign =
+  let n = Netlist.net_count netlist in
+  let values = Array.make n false in
+  (* Net ids are topologically ordered: a cell's inputs precede its outputs,
+     so a single forward pass evaluates everything.  Both ports of an FA/HA
+     are recomputed when each is reached; that is cheap and keeps the pass
+     trivially correct. *)
+  for net = 0 to n - 1 do
+    match Netlist.driver netlist net with
+    | Netlist.From_input { var; bit } ->
+      values.(net) <- (assign var lsr bit) land 1 = 1
+    | Netlist.From_const b -> values.(net) <- b
+    | Netlist.From_cell { cell; port } ->
+      let c = Netlist.cell netlist cell in
+      values.(net) <- (cell_outputs c values).(port)
+  done;
+  values
+
+let bus_value values nets =
+  let acc = ref 0 in
+  Array.iteri (fun bit net -> if values.(net) then acc := !acc lor (1 lsl bit)) nets;
+  !acc
+
+let output_value netlist values name =
+  bus_value values (Netlist.find_output netlist name)
+
+let eval_output netlist ~assign name =
+  output_value netlist (run netlist ~assign) name

@@ -1,0 +1,22 @@
+(** Two-valued logic simulation of a netlist.
+
+    Variables are assigned unsigned integers; bit [i] of variable [x] is
+    [(assign x lsr i) land 1]. *)
+
+open Dp_netlist
+
+(** Combinational function of one cell: output values (indexed by port)
+    from the current net valuation. *)
+val cell_outputs : Netlist.cell -> bool array -> bool array
+
+(** Value of every net for the given input assignment, indexed by net id. *)
+val run : Netlist.t -> assign:(string -> int) -> bool array
+
+(** Integer value of a bus, LSB-first. *)
+val bus_value : bool array -> Netlist.net array -> int
+
+(** @raise Invalid_argument if the output is not declared. *)
+val output_value : Netlist.t -> bool array -> string -> int
+
+(** Simulate and read one output. *)
+val eval_output : Netlist.t -> assign:(string -> int) -> string -> int

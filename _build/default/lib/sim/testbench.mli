@@ -1,0 +1,13 @@
+(** Self-checking Verilog testbench generation: seeded random stimulus with
+    expected outputs pre-computed by the built-in simulator, so the emitted
+    netlist can be validated in any external Verilog simulator. *)
+
+open Dp_netlist
+
+(** The testbench module ([<module_name>_tb]) alone. *)
+val emit : ?module_name:string -> ?seed:int -> ?vectors:int -> Netlist.t -> string
+
+(** DUT (via {!Verilog.emit}) followed by its testbench — one
+    ready-to-simulate file. *)
+val emit_with_dut :
+  ?module_name:string -> ?seed:int -> ?vectors:int -> Netlist.t -> string

@@ -1,0 +1,1 @@
+lib/tech/cell_kind.ml: Fmt Printf

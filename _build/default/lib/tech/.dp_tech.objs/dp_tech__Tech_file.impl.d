@@ -1,0 +1,1 @@
+lib/tech/tech_file.ml: In_channel List Printf String Tech

@@ -1,0 +1,35 @@
+type t =
+  | Fa
+  | Ha
+  | And_n of int
+  | Or_n of int
+  | Xor_n of int
+  | Not
+  | Buf
+
+let equal a b =
+  match a, b with
+  | Fa, Fa | Ha, Ha | Not, Not | Buf, Buf -> true
+  | And_n n, And_n m | Or_n n, Or_n m | Xor_n n, Xor_n m -> n = m
+  | (Fa | Ha | And_n _ | Or_n _ | Xor_n _ | Not | Buf), _ -> false
+
+let arity = function
+  | Fa -> 3
+  | Ha -> 2
+  | And_n n | Or_n n | Xor_n n -> n
+  | Not | Buf -> 1
+
+let output_count = function
+  | Fa | Ha -> 2
+  | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> 1
+
+let name = function
+  | Fa -> "FA"
+  | Ha -> "HA"
+  | And_n n -> Printf.sprintf "AND%d" n
+  | Or_n n -> Printf.sprintf "OR%d" n
+  | Xor_n n -> Printf.sprintf "XOR%d" n
+  | Not -> "NOT"
+  | Buf -> "BUF"
+
+let pp ppf k = Fmt.string ppf (name k)

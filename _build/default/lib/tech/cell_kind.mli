@@ -1,0 +1,27 @@
+(** Kinds of cells available in the target technology.
+
+    An [Fa] (full adder) sums three bits of the same weight into a sum bit
+    (port 0) and a carry-out bit of the next weight (port 1).  An [Ha] (half
+    adder) does the same for two bits.  [And_n n], [Or_n n] and [Xor_n n] are
+    [n]-input single-output gates ([n >= 2]); wide instances are priced as
+    balanced trees of 2-input gates. *)
+
+type t =
+  | Fa
+  | Ha
+  | And_n of int
+  | Or_n of int
+  | Xor_n of int
+  | Not
+  | Buf
+
+val equal : t -> t -> bool
+
+(** Number of input pins. *)
+val arity : t -> int
+
+(** Number of output ports: 2 for [Fa]/[Ha] (sum, carry), 1 otherwise. *)
+val output_count : t -> int
+
+val name : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,119 @@
+type t = {
+  name : string;
+  fa_sum_delay : float;
+  fa_carry_delay : float;
+  ha_sum_delay : float;
+  ha_carry_delay : float;
+  and2_delay : float;
+  or2_delay : float;
+  xor2_delay : float;
+  not_delay : float;
+  buf_delay : float;
+  fa_area : float;
+  ha_area : float;
+  and2_area : float;
+  or2_area : float;
+  xor2_area : float;
+  not_area : float;
+  buf_area : float;
+  fa_sum_energy : float;
+  fa_carry_energy : float;
+  ha_sum_energy : float;
+  ha_carry_energy : float;
+  gate_energy : float;
+}
+
+(* Delay/area magnitudes chosen at 0.35um standard-cell scale; only relative
+   values matter for reproducing the paper's comparisons. *)
+let lcb_like = {
+  name = "lcb_like_0.35um";
+  fa_sum_delay = 0.45;
+  fa_carry_delay = 0.32;
+  ha_sum_delay = 0.28;
+  ha_carry_delay = 0.18;
+  and2_delay = 0.15;
+  or2_delay = 0.15;
+  xor2_delay = 0.25;
+  not_delay = 0.08;
+  buf_delay = 0.10;
+  fa_area = 8.0;
+  ha_area = 4.0;
+  and2_area = 2.0;
+  or2_area = 2.0;
+  xor2_area = 3.0;
+  not_area = 1.0;
+  buf_area = 1.0;
+  fa_sum_energy = 1.0;
+  fa_carry_energy = 1.1;
+  ha_sum_energy = 0.55;
+  ha_carry_energy = 0.45;
+  gate_energy = 0.25;
+}
+
+(* The teaching technology of the paper's Fig. 2: Ds = 2, Dc = 1, everything
+   else free.  Lets the examples reproduce the figure's arrival arithmetic. *)
+let unit_delay = {
+  name = "unit_delay";
+  fa_sum_delay = 2.0;
+  fa_carry_delay = 1.0;
+  ha_sum_delay = 2.0;
+  ha_carry_delay = 1.0;
+  and2_delay = 0.0;
+  or2_delay = 0.0;
+  xor2_delay = 0.0;
+  not_delay = 0.0;
+  buf_delay = 0.0;
+  fa_area = 1.0;
+  ha_area = 0.5;
+  and2_area = 0.0;
+  or2_area = 0.0;
+  xor2_area = 0.0;
+  not_area = 0.0;
+  buf_area = 0.0;
+  fa_sum_energy = 1.0;
+  fa_carry_energy = 1.0;
+  ha_sum_energy = 1.0;
+  ha_carry_energy = 1.0;
+  gate_energy = 0.0;
+}
+
+let tree_levels n =
+  (* depth of a balanced binary tree with [n] leaves *)
+  let rec go acc cap = if cap >= n then acc else go (acc + 1) (cap * 2) in
+  go 0 1
+
+let delay t kind ~port =
+  match (kind : Cell_kind.t), port with
+  | Fa, 0 -> t.fa_sum_delay
+  | Fa, 1 -> t.fa_carry_delay
+  | Ha, 0 -> t.ha_sum_delay
+  | Ha, 1 -> t.ha_carry_delay
+  | And_n n, 0 -> t.and2_delay *. float_of_int (tree_levels n)
+  | Or_n n, 0 -> t.or2_delay *. float_of_int (tree_levels n)
+  | Xor_n n, 0 -> t.xor2_delay *. float_of_int (tree_levels n)
+  | Not, 0 -> t.not_delay
+  | Buf, 0 -> t.buf_delay
+  | (Fa | Ha | And_n _ | Or_n _ | Xor_n _ | Not | Buf), _ ->
+    invalid_arg "Tech.delay: bad output port"
+
+let area t (kind : Cell_kind.t) =
+  match kind with
+  | Fa -> t.fa_area
+  | Ha -> t.ha_area
+  | And_n n -> t.and2_area *. float_of_int (n - 1)
+  | Or_n n -> t.or2_area *. float_of_int (n - 1)
+  | Xor_n n -> t.xor2_area *. float_of_int (n - 1)
+  | Not -> t.not_area
+  | Buf -> t.buf_area
+
+let energy t kind ~port =
+  match (kind : Cell_kind.t), port with
+  | Fa, 0 -> t.fa_sum_energy
+  | Fa, 1 -> t.fa_carry_energy
+  | Ha, 0 -> t.ha_sum_energy
+  | Ha, 1 -> t.ha_carry_energy
+  | (And_n _ | Or_n _ | Xor_n _ | Not | Buf), 0 -> t.gate_energy
+  | (Fa | Ha | And_n _ | Or_n _ | Xor_n _ | Not | Buf), _ ->
+    invalid_arg "Tech.energy: bad output port"
+
+let pp ppf t = Fmt.pf ppf "tech:%s" t.name

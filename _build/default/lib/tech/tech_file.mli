@@ -1,0 +1,22 @@
+(** Loading technology parameters from a simple text format:
+
+    {v
+    # comment
+    name my_library
+    fa_sum_delay 0.45
+    fa_carry_delay 0.32
+    v}
+
+    Omitted keys inherit from [base] (default {!Tech.lcb_like}). *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on unknown keys, malformed lines, bad numbers or
+    negative values. *)
+val of_string : ?base:Tech.t -> string -> Tech.t
+
+(** @raise Parse_error as {!of_string}; @raise Sys_error on I/O failure. *)
+val of_file : ?base:Tech.t -> string -> Tech.t
+
+(** Round-trippable rendering of a technology. *)
+val to_string : Tech.t -> string

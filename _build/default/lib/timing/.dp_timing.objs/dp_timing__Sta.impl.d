@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Dp_netlist Dp_tech Float Fmt List Netlist Stats Topo

@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Dp_netlist Fmt Netlist

@@ -1,0 +1,30 @@
+(** Static timing analysis.
+
+    Computes arrival times from primary-input arrivals and per-cell
+    pin-to-pin delays — the same model the allocation algorithms use
+    incrementally, recomputed from scratch as an independent check. *)
+
+open Dp_netlist
+
+(** Arrival time per net, indexed by net id. *)
+val arrivals : Netlist.t -> float array
+
+(** True iff the from-scratch arrivals match the builder's incremental
+    annotation within [eps]. *)
+val agrees_with_annotation : ?eps:float -> Netlist.t -> bool
+
+(** Latest output arrival — the design delay reported in Table 1. *)
+val design_delay : Netlist.t -> float
+
+type endpoint = { output : string; bit : int; arrival : float }
+
+val endpoints : Netlist.t -> endpoint list
+
+(** @raise Invalid_argument if the netlist declares no outputs. *)
+val critical_endpoint : Netlist.t -> endpoint
+
+(** Nets of the critical path, source first. *)
+val critical_path : Netlist.t -> Netlist.net list
+
+val pp_endpoint : endpoint Fmt.t
+val pp_path : Netlist.t -> Netlist.net list Fmt.t

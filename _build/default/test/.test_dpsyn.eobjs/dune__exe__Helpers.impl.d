@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Dp_netlist Dp_tech Float List Netlist

@@ -1,0 +1,1 @@
+test/test_adders.ml: Adder Alcotest Array Bool Dp_adders Dp_expr Dp_netlist Dp_sim Dp_timing Helpers List Netlist Printf Random

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Ast Conventional Csa_opt Dp_adders Dp_baselines Dp_bitmatrix Dp_expr Dp_netlist Dp_sim Dp_timing Env Eval Helpers List Matrix Netlist Parse Printf Random Rows

@@ -1,0 +1,1 @@
+test/test_booth.ml: Alcotest Booth Dp_bitmatrix Dp_expr Dp_flow Dp_netlist Dp_sim Env Eval Helpers List Lower Matrix Netlist Parse Printf

@@ -1,0 +1,1 @@
+test/test_event_sim.ml: Alcotest Array Dp_designs Dp_flow Dp_netlist Dp_sim Event_sim Heap Helpers List Monte_carlo Netlist Printf Random Simulator

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Array Dp_bitmatrix Dp_core Dp_netlist Dp_sim Dp_tech Exhaustive Fa_aot Float Fun Helpers List Matrix Netlist Printf Random

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Ast Csd Dp_expr Env Eval Helpers List Parse Printf Range Sop

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Dp_adders Dp_designs Dp_expr Dp_flow Dp_netlist Dp_sim Dp_tech Float Helpers List Printf Report Strategy String Synth

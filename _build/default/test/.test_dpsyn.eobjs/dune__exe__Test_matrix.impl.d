@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Dp_bitmatrix Dp_expr Dp_netlist Dp_sim Dp_tech Env Eval Helpers List Lower Matrix Netlist Parse Printf Random String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Dp_bitmatrix Dp_core Dp_designs Dp_expr Dp_flow Dp_netlist Dp_pipeline Dp_tech Float Fmt Helpers List Lower Matrix Netlist Option Printf Stats String

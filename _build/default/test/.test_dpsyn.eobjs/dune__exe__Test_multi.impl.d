@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Dp_bitmatrix Dp_expr Dp_flow Dp_netlist Dp_sim Env Helpers List Parse Printf Strategy String Synth

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Dot Dp_netlist Dp_sim Dp_tech Helpers List Netlist Stats String Topo Verilog

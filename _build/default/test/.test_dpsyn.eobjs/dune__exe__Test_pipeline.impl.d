@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Dp_designs Dp_flow Dp_netlist Dp_pipeline Dp_tech Helpers List Netlist Printf

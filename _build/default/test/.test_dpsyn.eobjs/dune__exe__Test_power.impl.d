@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Dp_designs Dp_expr Dp_flow Dp_netlist Dp_power Dp_sim Dp_tech Float Helpers List Netlist Printf Prob Switching

@@ -1,0 +1,1 @@
+test/test_props.ml: Ast Bool Csd Dp_adders Dp_expr Dp_flow Dp_netlist Dp_power Dp_sim Dp_timing Env Eval Float Hashtbl Helpers List QCheck2 QCheck_alcotest Random Range Sop

@@ -1,0 +1,1 @@
+test/test_props2.ml: Array Ast Dp_bitmatrix Dp_core Dp_expr Dp_flow Dp_netlist Dp_pipeline Dp_sim Dp_tech Env Float Hashtbl Helpers List Parse QCheck2 QCheck_alcotest Random Range Sop String

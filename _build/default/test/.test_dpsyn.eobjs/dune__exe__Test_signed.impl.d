@@ -1,0 +1,1 @@
+test/test_signed.ml: Alcotest Ast Dp_bitmatrix Dp_expr Dp_flow Dp_netlist Dp_sim Dp_tech Env Eval Fmt Helpers List Option Parse Range String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dp_designs Dp_expr Dp_flow Dp_netlist Dp_sim Equiv Fmt Helpers List Netlist Option Printf Simulator String Testbench

@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Cell_kind Dp_tech Helpers List String Tech Tech_file

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Dp_designs Dp_flow Dp_netlist Dp_tech Dp_timing Helpers List Netlist Sta String

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "dpsyn"
+    [
+      ("tech", Test_tech.suite);
+      ("expr", Test_expr.suite);
+      ("netlist", Test_netlist.suite);
+      ("matrix", Test_matrix.suite);
+      ("core", Test_core.suite);
+      ("timing", Test_timing.suite);
+      ("power", Test_power.suite);
+      ("sim", Test_sim.suite);
+      ("adders", Test_adders.suite);
+      ("baselines", Test_baselines.suite);
+      ("flow", Test_flow.suite);
+      ("signed", Test_signed.suite);
+      ("booth", Test_booth.suite);
+      ("multi", Test_multi.suite);
+      ("event_sim", Test_event_sim.suite);
+      ("exhaustive", Test_exhaustive.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("misc", Test_misc.suite);
+      ("properties", Test_props.suite);
+      ("properties2", Test_props2.suite);
+    ]

@@ -1,0 +1,219 @@
+open Dp_flow
+open Helpers
+
+let all_strategies = Strategy.all
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end equivalence: every strategy x every paper design *)
+
+let test_all_strategies_all_designs_equivalent () =
+  List.iter
+    (fun (d : Dp_designs.Design.t) ->
+      List.iter
+        (fun strategy ->
+          let r = Synth.run strategy d.env d.expr ~width:d.width in
+          match Synth.verify ~trials:60 r d.expr with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.failf "%s under %s: %a" d.name (Strategy.name strategy)
+              Dp_sim.Equiv.pp_mismatch m)
+        all_strategies)
+    Dp_designs.Catalog.table1
+
+let test_all_final_adders_equivalent () =
+  let d = Dp_designs.Catalog.poly_mixed in
+  List.iter
+    (fun adder ->
+      let r = Synth.run ~adder Strategy.Fa_aot d.env d.expr ~width:d.width in
+      match Synth.verify ~trials:60 r d.expr with
+      | Ok () -> ()
+      | Error m ->
+        Alcotest.failf "%s: %a" (Dp_adders.Adder.name adder)
+          Dp_sim.Equiv.pp_mismatch m)
+    Dp_adders.Adder.all
+
+(* ------------------------------------------------------------------ *)
+(* The paper's headline comparisons, as properties *)
+
+let test_fa_aot_beats_conventional_on_every_design () =
+  List.iter
+    (fun (d : Dp_designs.Design.t) ->
+      let aot = Synth.run Strategy.Fa_aot d.env d.expr ~width:d.width in
+      let conv = Synth.run Strategy.Conventional d.env d.expr ~width:d.width in
+      checkb
+        (Printf.sprintf "%s: AOT %.2f < conventional %.2f" d.name
+           aot.stats.delay conv.stats.delay)
+        true
+        (aot.stats.delay < conv.stats.delay))
+    Dp_designs.Catalog.table1
+
+let test_fa_aot_never_slower_than_csa_opt () =
+  (* The paper's guarantee (modified Problem 1) is on the latest signal
+     feeding the final adder.  End-to-end, the final adder's sensitivity to
+     the full arrival *profile* can flip near-ties by a few percent (seen
+     on IIR: 3.81 vs 3.79 ns), so the delay assertion carries 3% slack. *)
+  List.iter
+    (fun (d : Dp_designs.Design.t) ->
+      let aot = Synth.run Strategy.Fa_aot d.env d.expr ~width:d.width in
+      let csa = Synth.run Strategy.Csa_opt d.env d.expr ~width:d.width in
+      (* SC_T's HA-on-exactly-three rule keeps two addends per column where
+         a word-level CSA may FA all three; combined with the greedy's rare
+         Dc-bounded suboptimality (see test_core), CSA_OPT can edge ahead by
+         up to one carry delay — never more. *)
+      let dc = Dp_tech.Tech.lcb_like.fa_carry_delay in
+      (match aot.reduced_max_arrival, csa.reduced_max_arrival with
+      | Some a, Some c ->
+        checkb
+          (Printf.sprintf "%s: AOT reduced %.2f <= CSA_OPT reduced %.2f + Dc"
+             d.name a c)
+          true
+          (a <= c +. dc +. 1e-9)
+      | None, _ | _, None ->
+        Alcotest.fail "matrix strategies must report reduced arrival");
+      checkb
+        (Printf.sprintf "%s: AOT %.2f <= 1.03 * CSA_OPT %.2f" d.name
+           aot.stats.delay csa.stats.delay)
+        true
+        (aot.stats.delay <= (csa.stats.delay *. 1.03) +. 1e-9))
+    Dp_designs.Catalog.table1
+
+let test_fa_alp_beats_random_on_table2 () =
+  List.iter
+    (fun (d : Dp_designs.Design.t) ->
+      let alp = Synth.run Strategy.Fa_alp d.env d.expr ~width:d.width in
+      let random = Synth.run (Strategy.Fa_random 1) d.env d.expr ~width:d.width in
+      checkb
+        (Printf.sprintf "%s: ALP %.3f <= random %.3f" d.name alp.tree_switching
+           random.tree_switching)
+        true
+        (alp.tree_switching <= random.tree_switching +. 1e-9))
+    Dp_designs.Catalog.table2
+
+let test_run_best_adder () =
+  let d = Dp_designs.Catalog.kalman in
+  let best = Synth.run_best_adder Strategy.Fa_aot d.env d.expr ~width:d.width in
+  (* never slower than any single architecture, and still equivalent *)
+  List.iter
+    (fun adder ->
+      let r = Synth.run ~adder Strategy.Fa_aot d.env d.expr ~width:d.width in
+      checkb
+        (Printf.sprintf "best %.2f <= %s %.2f" best.stats.delay
+           (Dp_adders.Adder.name adder) r.stats.delay)
+        true
+        (best.stats.delay <= r.stats.delay +. 1e-9))
+    Dp_adders.Adder.all;
+  checkb "equivalent" true (Synth.verify ~trials:40 best d.expr = Ok ())
+
+let test_fa3_strategy_equivalent () =
+  let d = Dp_designs.Catalog.poly_mixed in
+  let r = Synth.run Strategy.Fa_aot_fa3 d.env d.expr ~width:d.width in
+  checkb "equivalent" true (Synth.verify ~trials:60 r d.expr = Ok ());
+  (* the FA3 finish never keeps more than the HA finish *)
+  let ha = Synth.run Strategy.Fa_aot d.env d.expr ~width:d.width in
+  checkb "fa3 has fewer or equal HAs" true
+    (r.stats.ha_count <= ha.stats.ha_count)
+
+let test_natural_width_default () =
+  let env = Dp_expr.Env.of_widths [ ("x", 3) ] in
+  let expr = Dp_expr.Parse.expr "x^2" in
+  let r = Synth.run Strategy.Fa_aot env expr in
+  checki "width 6" 6 r.width
+
+let test_strategy_names_roundtrip () =
+  List.iter
+    (fun s ->
+      match Strategy.of_name (Strategy.name s) with
+      | Some _ -> ()
+      | None ->
+        (* FA_random's printed name carries its seed and is not parseable;
+           everything else must roundtrip *)
+        (match s with
+        | Strategy.Fa_random _ -> ()
+        | _ -> Alcotest.failf "name %s not parsed" (Strategy.name s)))
+    all_strategies
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+let test_report_table_alignment () =
+  let t =
+    Report.table
+      ~header:[ "design"; "delay" ]
+      ~rows:[ [ "IIR"; "3.68" ]; [ "Kalman-very-long"; "4.5" ] ]
+  in
+  let lines = String.split_on_char '\n' t in
+  (match lines with
+  | header :: sep :: _ ->
+    checki "aligned" (String.length header) (String.length sep)
+  | _ -> Alcotest.fail "too short");
+  Alcotest.check_raises "ragged" (Invalid_argument "Report.table: ragged rows")
+    (fun () -> ignore (Report.table ~header:[ "a" ] ~rows:[ [ "x"; "y" ] ]))
+
+let test_report_improvement () =
+  checkf "50%" 50.0 (Report.improvement ~baseline:10.0 ~ours:5.0);
+  checkf "zero baseline" 0.0 (Report.improvement ~baseline:0.0 ~ours:5.0);
+  checkb "negative when worse" true (Report.improvement ~baseline:5.0 ~ours:10.0 < 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Designs catalog *)
+
+let test_catalog_well_formed () =
+  List.iter
+    (fun (d : Dp_designs.Design.t) ->
+      Dp_expr.Env.check_covers d.expr d.env;
+      checkb (d.name ^ " width sane") true (d.width >= 1 && d.width <= 62))
+    Dp_designs.Catalog.all
+
+let test_catalog_widths_match_paper () =
+  checki "IIR 16-bit" 16 Dp_designs.Catalog.iir.width;
+  checki "Kalman 32-bit" 32 Dp_designs.Catalog.kalman.width;
+  checki "IDCT 32-bit" 32 Dp_designs.Catalog.idct.width;
+  checki "Complex 32-bit" 32 Dp_designs.Catalog.complex.width;
+  checki "Serial-Adapter 16-bit" 16 Dp_designs.Catalog.serial_adapter.width
+
+let test_catalog_find () =
+  checkb "finds iir" true (Dp_designs.Catalog.find "iir" <> None);
+  checkb "unknown" true (Dp_designs.Catalog.find "nope" = None)
+
+let test_table2_has_random_probs () =
+  List.iter
+    (fun (d : Dp_designs.Design.t) ->
+      let has_nonuniform =
+        List.exists
+          (fun (_, (info : Dp_expr.Env.var_info)) ->
+            Array.exists (fun p -> Float.abs (p -. 0.5) > 1e-9) info.prob)
+          (Dp_expr.Env.bindings d.env)
+      in
+      checkb (d.name ^ " nonuniform probs") true has_nonuniform)
+    Dp_designs.Catalog.table2
+
+let test_verilog_emits_for_designs () =
+  List.iter
+    (fun (d : Dp_designs.Design.t) ->
+      let r = Synth.run Strategy.Fa_aot d.env d.expr ~width:d.width in
+      let v = Dp_netlist.Verilog.emit r.netlist in
+      checkb (d.name ^ " nonempty verilog") true (String.length v > 200))
+    [ Dp_designs.Catalog.iir; Dp_designs.Catalog.complex ]
+
+let suite =
+  [
+    case "every strategy x every design is equivalent"
+      test_all_strategies_all_designs_equivalent;
+    case "every final adder is equivalent" test_all_final_adders_equivalent;
+    case "FA_AOT beats Conventional on every Table-1 design"
+      test_fa_aot_beats_conventional_on_every_design;
+    case "FA_AOT never slower than CSA_OPT" test_fa_aot_never_slower_than_csa_opt;
+    case "FA_ALP beats FA_random on every Table-2 design"
+      test_fa_alp_beats_random_on_table2;
+    case "run_best_adder dominates each architecture" test_run_best_adder;
+    case "FA3 finish strategy equivalent" test_fa3_strategy_equivalent;
+    case "natural width default" test_natural_width_default;
+    case "strategy names roundtrip" test_strategy_names_roundtrip;
+    case "report: table alignment" test_report_table_alignment;
+    case "report: improvement" test_report_improvement;
+    case "catalog: designs well-formed" test_catalog_well_formed;
+    case "catalog: paper output widths" test_catalog_widths_match_paper;
+    case "catalog: find by name" test_catalog_find;
+    case "catalog: table 2 has random probabilities" test_table2_has_random_probs;
+    case "verilog emits for designs" test_verilog_emits_for_designs;
+  ]

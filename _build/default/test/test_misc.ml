@@ -1,0 +1,151 @@
+(* Coverage for smaller corners: Dadda staging, column isolation at the
+   column level, matrix dot diagrams, printers. *)
+
+open Dp_netlist
+open Dp_bitmatrix
+open Helpers
+
+let unit = Dp_tech.Tech.unit_delay
+
+(* ------------------------------------------------------------------ *)
+(* Dadda *)
+
+let test_dadda_minimality_on_multiplier () =
+  (* Dadda uses no more FAs/HAs than Wallace on the same 8x8 multiplier
+     matrix (its defining property is minimal compression work) *)
+  let env = Dp_expr.Env.of_widths [ ("x", 8); ("y", 8) ] in
+  let expr = Dp_expr.Parse.expr "x*y" in
+  let cells allocate =
+    let n = mk_netlist () in
+    let m = Lower.lower n env expr ~width:16 in
+    allocate n m;
+    let s = Stats.of_netlist n in
+    s.fa_count + s.ha_count
+  in
+  let dadda = cells Dp_core.Dadda.allocate in
+  let wallace = cells Dp_core.Wallace.allocate in
+  checkb (Printf.sprintf "dadda %d <= wallace %d" dadda wallace) true
+    (dadda <= wallace)
+
+let test_dadda_single_column_tall () =
+  (* 40 addends in one column must still reach two *)
+  let n = mk_netlist ~tech:unit () in
+  let bits = Netlist.add_input n "x" ~width:40 in
+  let m = Matrix.create () in
+  Array.iter (fun b -> Matrix.add m ~weight:0 b) bits;
+  Dp_core.Dadda.allocate n m;
+  checkb "reduced" true (Matrix.is_reduced m)
+
+(* ------------------------------------------------------------------ *)
+(* Column isolation at the column level *)
+
+let test_column_isolation_prefers_inputs () =
+  let n = mk_netlist ~tech:unit () in
+  let col = mk_column n [| 1.0; 1.0; 1.0; 1.0; 1.0; 9.0 |] in
+  (* 6 addends: the first FA consumes three original inputs even though
+     its own sum (arriving later than 1.0) would be "original" to SC_T *)
+  let kept, carries = Dp_core.Column_isolation.reduce_column n col in
+  checki "kept" 2 (List.length kept);
+  checki "carries" 2 (List.length carries);
+  (* every FA input (cells 0 and 1) must be a primary input *)
+  for cell_id = 0 to 1 do
+    let c = Netlist.cell n cell_id in
+    Array.iter
+      (fun input ->
+        match Netlist.driver n input with
+        | Netlist.From_input _ -> ()
+        | Netlist.From_const _ | Netlist.From_cell _ ->
+          Alcotest.failf "cell %d consumed a non-input addend" cell_id)
+      c.inputs
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Matrix dot diagram *)
+
+let test_matrix_pp_dots () =
+  let n = mk_netlist () in
+  let bits = Netlist.add_input n "v" ~width:4 in
+  let m = Matrix.create () in
+  Matrix.add m ~weight:0 bits.(0);
+  Matrix.add m ~weight:0 bits.(1);
+  Matrix.add m ~weight:1 bits.(2);
+  Matrix.add m ~weight:2 bits.(3);
+  let s = Fmt.str "%a" Matrix.pp_dots m in
+  (* 3 columns, 2 rows: "o o o" / ". . o" *)
+  check (Alcotest.list Alcotest.string) "diagram" [ "o o o"; ". . o" ]
+    (String.split_on_char '\n' s)
+
+(* ------------------------------------------------------------------ *)
+(* Printers *)
+
+let test_stats_pp_mentions_key_numbers () =
+  let d = Dp_designs.Catalog.x2 in
+  let r = Dp_flow.Synth.run Dp_flow.Strategy.Fa_aot d.env d.expr ~width:d.width in
+  let s = Fmt.str "%a" Stats.pp r.stats in
+  checkb "mentions area" true
+    (Option.is_some (String.index_opt s 'F'));
+  checkb "long enough" true (String.length s > 30)
+
+let test_strategy_pp () =
+  checkb "prints" true
+    (String.equal (Fmt.str "%a" Dp_flow.Strategy.pp Dp_flow.Strategy.Fa_aot) "FA_AOT")
+
+let test_design_pp () =
+  let s = Fmt.str "%a" Dp_designs.Design.pp Dp_designs.Catalog.iir in
+  checkb "mentions name" true (String.length s > 10)
+
+let test_pipeline_pp () =
+  let n = mk_netlist () in
+  let bits = Netlist.add_input n "v" ~width:2 in
+  let s, _ = Netlist.ha n bits.(0) bits.(1) in
+  Netlist.set_output n "o" [| s |];
+  let p = Dp_pipeline.Pipeline.plan n ~cycle_time:5.0 in
+  let str = Fmt.str "%a" Dp_pipeline.Pipeline.pp p in
+  checkb "mentions T" true (String.length str > 10)
+
+(* ------------------------------------------------------------------ *)
+(* Tie-break coverage *)
+
+let test_sc_t_tie_break_prefers_high_q () =
+  let n = mk_netlist ~tech:unit () in
+  (* all arrivals equal: the combined rule must pick the three largest |q| *)
+  let col =
+    mk_column ~probs:[| 0.5; 0.1; 0.9; 0.45 |] n (Array.make 4 0.0)
+  in
+  let kept, _ =
+    Dp_core.Sc_t.reduce_column ~tie_break:Dp_core.Sc_t.Prefer_high_q n col
+  in
+  (* the weakest |q| addend (p = 0.5) must survive *)
+  checkb "p=0.5 survives" true
+    (List.exists (fun net -> Float.abs (Netlist.prob n net -. 0.5) < 1e-9) kept)
+
+let test_sc_lp_tie_break_prefers_early () =
+  let n = mk_netlist ~tech:unit () in
+  (* all |q| exactly equal: the combined rule must pick the three earliest
+     (note 0.3 and 0.7 are NOT exactly symmetric around 0.5 in floats) *)
+  let col =
+    Netlist.add_input n "c" ~width:4
+      ~prob:[| 0.3; 0.3; 0.3; 0.3 |]
+      ~arrival:[| 5.0; 1.0; 1.0; 1.0 |]
+    |> Array.to_list
+  in
+  let kept, _ =
+    Dp_core.Sc_lp.reduce_column ~tie_break:Dp_core.Sc_lp.Prefer_early n col
+  in
+  (* the latest addend must survive unconsumed *)
+  checkb "t=5 survives" true
+    (List.exists (fun net -> Netlist.arrival n net = 5.0) kept)
+
+let suite =
+  [
+    case "dadda: no more compressors than wallace" test_dadda_minimality_on_multiplier;
+    case "dadda: 40-addend column" test_dadda_single_column_tall;
+    case "column isolation prefers input addends" test_column_isolation_prefers_inputs;
+    case "matrix dot diagram" test_matrix_pp_dots;
+    case "stats printer" test_stats_pp_mentions_key_numbers;
+    case "strategy printer" test_strategy_pp;
+    case "design printer" test_design_pp;
+    case "pipeline printer" test_pipeline_pp;
+    case "SC_T combined tie-break" test_sc_t_tie_break_prefers_high_q;
+    case "SC_LP combined tie-break" test_sc_lp_tie_break_prefers_early;
+  ]

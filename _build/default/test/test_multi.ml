@@ -1,0 +1,89 @@
+open Dp_expr
+open Dp_flow
+open Helpers
+
+let complex_ports =
+  [
+    { Synth.name = "re"; expr = Parse.expr "a*c - b*d"; width = 9 };
+    { Synth.name = "im"; expr = Parse.expr "a*d + b*c"; width = 9 };
+  ]
+
+let complex_env = Env.of_widths [ ("a", 4); ("b", 4); ("c", 4); ("d", 4) ]
+
+let test_multi_equivalent_all_strategies () =
+  List.iter
+    (fun strategy ->
+      let r = Synth.run_multi strategy complex_env complex_ports in
+      match Synth.verify_multi ~trials:80 r with
+      | Ok () -> ()
+      | Error (port, m) ->
+        Alcotest.failf "%s port %s: %a" (Strategy.name strategy) port
+          Dp_sim.Equiv.pp_mismatch m)
+    [
+      Strategy.Fa_aot; Strategy.Fa_alp; Strategy.Wallace; Strategy.Csa_opt;
+      Strategy.Conventional;
+    ]
+
+let test_multi_declares_inputs_once () =
+  let r = Synth.run_multi Strategy.Fa_aot complex_env complex_ports in
+  checki "4 input buses" 4 (List.length (Dp_netlist.Netlist.inputs r.netlist));
+  checki "2 output buses" 2 (List.length (Dp_netlist.Netlist.outputs r.netlist))
+
+let test_multi_shares_partial_products () =
+  (* x^2 and x^3 share every x_i & x_j gate; the joint netlist must be
+     smaller than the sum of the two separate ones *)
+  let env = Env.of_widths [ ("x", 4) ] in
+  let p2 = { Synth.name = "sq"; expr = Parse.expr "x^2"; width = 8 } in
+  let p3 = { Synth.name = "cube"; expr = Parse.expr "x^3"; width = 12 } in
+  let joint = Synth.run_multi Strategy.Fa_aot env [ p2; p3 ] in
+  let solo_cells strategy p =
+    let r = Synth.run strategy env p.Synth.expr ~width:p.Synth.width in
+    r.stats.cells
+  in
+  let separate =
+    solo_cells Strategy.Fa_aot p2 + solo_cells Strategy.Fa_aot p3
+  in
+  checkb
+    (Printf.sprintf "joint %d < separate %d" joint.stats.cells separate)
+    true
+    (joint.stats.cells < separate);
+  (* and both ports still compute their functions *)
+  checkb "verified" true (Synth.verify_multi joint = Ok ())
+
+let test_multi_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Synth.run_multi: no outputs")
+    (fun () -> ignore (Synth.run_multi Strategy.Fa_aot Env.empty []))
+
+let test_multi_conflicting_width_rejected () =
+  (* same variable declared at different widths across ports' envs is
+     caught when the second lowering reuses the bus *)
+  let env4 = Env.of_widths [ ("x", 4) ] in
+  let netlist = mk_netlist () in
+  ignore (Dp_bitmatrix.Lower.lower netlist env4 (Parse.expr "x") ~width:4);
+  let env5 = Env.of_widths [ ("x", 5) ] in
+  Alcotest.check_raises "width clash"
+    (Invalid_argument "Lower.declare_inputs: x redeclared at a different width")
+    (fun () ->
+      ignore (Dp_bitmatrix.Lower.lower netlist env5 (Parse.expr "x") ~width:5))
+
+let test_multi_verilog_two_outputs () =
+  let r = Synth.run_multi Strategy.Fa_aot complex_env complex_ports in
+  let v = Dp_netlist.Verilog.emit ~module_name:"cmul" r.netlist in
+  let contains needle =
+    let nl = String.length needle and hl = String.length v in
+    let rec go i = i + nl <= hl && (String.sub v i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "re port" true (contains "output [8:0] re;");
+  checkb "im port" true (contains "output [8:0] im;")
+
+let suite =
+  [
+    case "complex multiplier: both ports equivalent (all strategies)"
+      test_multi_equivalent_all_strategies;
+    case "inputs declared once" test_multi_declares_inputs_once;
+    case "x^2/x^3 share partial products" test_multi_shares_partial_products;
+    case "empty port list rejected" test_multi_empty_rejected;
+    case "conflicting input width rejected" test_multi_conflicting_width_rejected;
+    case "verilog with two output buses" test_multi_verilog_two_outputs;
+  ]

@@ -1,0 +1,125 @@
+(* Signed (two's-complement) inputs: the lowering gives the MSB of a signed
+   factor negative weight, so Baugh-Wooley-style signed multipliers fall
+   out of the ordinary signed-digit machinery.  These tests exercise the
+   whole pipeline on signed operands, exhaustively where feasible. *)
+
+open Dp_expr
+open Helpers
+
+let signed_env bindings =
+  List.fold_left
+    (fun env (name, width, signed) -> Env.add_uniform name ~width ~signed env)
+    Env.empty bindings
+
+let signed_of env x = Env.mem x env && Env.is_signed x env
+
+let exhaustive_equiv strategy expr_s bindings width () =
+  let env = signed_env bindings in
+  let expr = Parse.expr expr_s in
+  let r = Dp_flow.Synth.run strategy env expr ~width in
+  match
+    Dp_sim.Equiv.check_exhaustive ~signed:(signed_of env) r.netlist expr
+      ~output:"out" ~width
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: %a" expr_s Dp_sim.Equiv.pp_mismatch m
+
+let strategies =
+  [
+    Dp_flow.Strategy.Fa_aot;
+    Dp_flow.Strategy.Fa_alp;
+    Dp_flow.Strategy.Wallace;
+    Dp_flow.Strategy.Csa_opt;
+    Dp_flow.Strategy.Conventional;
+  ]
+
+let all_strategies expr_s bindings width () =
+  List.iter
+    (fun strategy -> exhaustive_equiv strategy expr_s bindings width ())
+    strategies
+
+let test_signed_identity =
+  all_strategies "x" [ ("x", 4, true) ] 6
+
+let test_signed_add =
+  all_strategies "x + y" [ ("x", 4, true); ("y", 4, true) ] 5
+
+let test_signed_sub =
+  all_strategies "x - y" [ ("x", 4, true); ("y", 4, true) ] 5
+
+let test_signed_mul =
+  (* Baugh-Wooley: 4x4 signed product, full natural width *)
+  all_strategies "x*y" [ ("x", 4, true); ("y", 4, true) ] 8
+
+let test_signed_square =
+  all_strategies "x^2" [ ("x", 4, true) ] 7
+
+let test_mixed_signedness =
+  all_strategies "x*y + z" [ ("x", 4, true); ("y", 3, false); ("z", 4, true) ] 8
+
+let test_signed_poly =
+  all_strategies "x^2 - 2*x*y + y^2" [ ("x", 3, true); ("y", 3, true) ] 7
+
+let test_signed_one_bit =
+  (* a 1-bit signed variable takes values {0, -1} *)
+  all_strategies "x*y" [ ("x", 1, true); ("y", 3, true) ] 4
+
+let test_signed_range () =
+  let env = signed_env [ ("x", 4, true) ] in
+  let r = Range.of_expr env (Ast.Var "x") in
+  checki "lo" (-8) (r : Range.t).lo;
+  checki "hi" 7 r.hi;
+  checki "natural width of x*y" 8
+    (Range.natural_width
+       (signed_env [ ("x", 4, true); ("y", 4, true) ])
+       (Parse.expr "x*y"))
+
+let test_signed_pattern_interpretation () =
+  checki "0b1111 = -1" (-1) (Eval.signed_of_pattern ~width:4 15);
+  checki "0b0111 = 7" 7 (Eval.signed_of_pattern ~width:4 7);
+  checki "0b1000 = -8" (-8) (Eval.signed_of_pattern ~width:4 8);
+  checki "width 1: 1 = -1" (-1) (Eval.signed_of_pattern ~width:1 1)
+
+let test_signed_msb_complemented_in_lowering () =
+  (* Baugh-Wooley structure: the partial products involving exactly one
+     MSB must appear complemented (negative digit) in the matrix *)
+  let env = signed_env [ ("x", 3, true); ("y", 3, false) ] in
+  let n = mk_netlist () in
+  let m = Dp_bitmatrix.Lower.lower n env (Parse.expr "x*y") ~width:6 in
+  let has_not = ref false in
+  for j = 0 to Dp_bitmatrix.Matrix.width m - 1 do
+    List.iter
+      (fun net ->
+        match Dp_netlist.Netlist.driver n net with
+        | Dp_netlist.Netlist.From_cell { cell; port = _ } -> (
+          match (Dp_netlist.Netlist.cell n cell).kind with
+          | Dp_tech.Cell_kind.Not -> has_not := true
+          | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha
+          | Dp_tech.Cell_kind.And_n _ | Dp_tech.Cell_kind.Or_n _
+          | Dp_tech.Cell_kind.Xor_n _ | Dp_tech.Cell_kind.Buf -> ())
+        | Dp_netlist.Netlist.From_input _ | Dp_netlist.Netlist.From_const _ -> ())
+      (Dp_bitmatrix.Matrix.column m j)
+  done;
+  checkb "complemented partial products present" true !has_not
+
+let test_signed_env_pp () =
+  let env = signed_env [ ("x", 4, true) ] in
+  let s = Fmt.str "%a" Env.pp env in
+  checkb "signed marker" true
+    (Option.is_some (String.index_opt s 's'))
+
+let suite =
+  [
+    case "signed identity (all strategies, exhaustive)" test_signed_identity;
+    case "signed addition" test_signed_add;
+    case "signed subtraction" test_signed_sub;
+    case "signed multiplication (Baugh-Wooley)" test_signed_mul;
+    case "signed square" test_signed_square;
+    case "mixed signed/unsigned product" test_mixed_signedness;
+    case "signed (x-y)^2 polynomial" test_signed_poly;
+    case "1-bit signed variable" test_signed_one_bit;
+    case "signed ranges" test_signed_range;
+    case "two's-complement pattern interpretation" test_signed_pattern_interpretation;
+    case "lowering complements MSB partial products" test_signed_msb_complemented_in_lowering;
+    case "env printer marks signedness" test_signed_env_pp;
+  ]

@@ -1,0 +1,71 @@
+open Dp_netlist
+open Dp_timing
+open Helpers
+
+let build_sample () =
+  let n = mk_netlist () in
+  let a = (Netlist.add_input n "a" ~width:1 ~arrival:[| 1.0 |] ~prob:[| 0.5 |]).(0) in
+  let b = (Netlist.add_input n "b" ~width:1 ~arrival:[| 0.2 |] ~prob:[| 0.5 |]).(0) in
+  let c = (Netlist.add_input n "c" ~width:1 ~arrival:[| 3.0 |] ~prob:[| 0.5 |]).(0) in
+  let g = Netlist.and_n n [ a; b ] in
+  let s, co = Netlist.fa n g c (Netlist.not_ n b) in
+  Netlist.set_output n "out" [| s; co |];
+  n
+
+let test_sta_agrees_with_builder () =
+  checkb "agree" true (Sta.agrees_with_annotation (build_sample ()))
+
+let test_sta_agrees_on_designs () =
+  (* the incremental annotation must survive a full design synthesis *)
+  List.iter
+    (fun (d : Dp_designs.Design.t) ->
+      let r = Dp_flow.Synth.run Dp_flow.Strategy.Fa_aot d.env d.expr ~width:d.width in
+      checkb d.name true (Sta.agrees_with_annotation r.netlist))
+    [ Dp_designs.Catalog.x2; Dp_designs.Catalog.iir; Dp_designs.Catalog.complex ]
+
+let test_design_delay () =
+  let n = build_sample () in
+  let t = Dp_tech.Tech.lcb_like in
+  (* critical: c@3.0 -> FA sum *)
+  checkf "delay" (3.0 +. t.fa_sum_delay) (Sta.design_delay n)
+
+let test_critical_endpoint () =
+  let n = build_sample () in
+  let e = Sta.critical_endpoint n in
+  checki "bit 0 (sum)" 0 e.bit;
+  checkb "output name" true (String.equal e.output "out")
+
+let test_critical_path_monotone () =
+  let n = build_sample () in
+  let path = Sta.critical_path n in
+  let arrivals = List.map (Netlist.arrival n) path in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  checkb "non-decreasing along path" true (monotone arrivals);
+  (* the path starts at the latest input, c *)
+  match path with
+  | first :: _ -> checkf "starts at 3.0" 3.0 (Netlist.arrival n first)
+  | [] -> Alcotest.fail "empty path"
+
+let test_endpoints_cover_outputs () =
+  let n = build_sample () in
+  checki "two endpoints" 2 (List.length (Sta.endpoints n))
+
+let test_no_outputs_raises () =
+  let n = mk_netlist () in
+  Alcotest.check_raises "no outputs"
+    (Invalid_argument "Sta.critical_endpoint: netlist has no outputs") (fun () ->
+      ignore (Sta.critical_endpoint n))
+
+let suite =
+  [
+    case "recomputed arrivals match builder annotation" test_sta_agrees_with_builder;
+    case "annotation survives full design synthesis" test_sta_agrees_on_designs;
+    case "design delay" test_design_delay;
+    case "critical endpoint" test_critical_endpoint;
+    case "critical path is monotone and starts late" test_critical_path_monotone;
+    case "endpoints cover all output bits" test_endpoints_cover_outputs;
+    case "no outputs raises" test_no_outputs_raises;
+  ]
