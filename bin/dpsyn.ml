@@ -16,23 +16,48 @@ open Cmdliner
 (* Argument parsing *)
 
 let parse_var_spec spec =
-  (* name:width[:arrival[:prob]] *)
+  (* name:width[:arrival[:prob]] — every field validated here so a bad
+     spec fails at the command line with a precise message instead of
+     deep in the flow (or, for probabilities, not at all). *)
+  let err fmt = Fmt.kstr (fun s -> Error (`Msg (spec ^ ": " ^ s))) fmt in
+  let ( let* ) r k = match r with Ok v -> k v | Error _ as e -> e in
+  let width_of s =
+    match int_of_string_opt s with
+    | None -> err "width %S is not an integer" s
+    | Some w when w < 1 -> err "width must be >= 1 (got %d)" w
+    | Some w -> Ok w
+  in
+  let arrival_of s =
+    match float_of_string_opt s with
+    | None -> err "arrival time %S is not a number" s
+    | Some t when not (Float.is_finite t) -> err "arrival time must be finite"
+    | Some t when t < 0.0 -> err "arrival time must be >= 0 (got %g)" t
+    | Some t -> Ok t
+  in
+  let prob_of s =
+    match float_of_string_opt s with
+    | None -> err "probability %S is not a number" s
+    | Some p when not (p >= 0.0 && p <= 1.0) ->
+      err "probability must be within [0,1] (got %g)" p
+    | Some p -> Ok p
+  in
+  let checked name w t p =
+    if name = "" then err "empty variable name"
+    else
+      let* w = width_of w in
+      let* t = match t with None -> Ok 0.0 | Some t -> arrival_of t in
+      let* p = match p with None -> Ok 0.5 | Some p -> prob_of p in
+      Ok (name, w, t, p)
+  in
   match String.split_on_char ':' spec with
-  | [ name; w ] -> Ok (name, int_of_string w, 0.0, 0.5)
-  | [ name; w; t ] -> Ok (name, int_of_string w, float_of_string t, 0.5)
-  | [ name; w; t; p ] ->
-    Ok (name, int_of_string w, float_of_string t, float_of_string p)
+  | [ name; w ] -> checked name w None None
+  | [ name; w; t ] -> checked name w (Some t) None
+  | [ name; w; t; p ] -> checked name w (Some t) (Some p)
   | _ -> Error (`Msg (spec ^ ": expected name:width[:arrival[:prob]]"))
 
 let var_conv =
-  let parse spec =
-    match parse_var_spec spec with
-    | ok_or_err -> ok_or_err
-    | exception Failure _ ->
-      Error (`Msg (spec ^ ": expected name:width[:arrival[:prob]]"))
-  in
   let print ppf (name, w, t, p) = Fmt.pf ppf "%s:%d:%g:%g" name w t p in
-  Arg.conv (parse, print)
+  Arg.conv (parse_var_spec, print)
 
 let expr_conv =
   let parse s =
@@ -89,10 +114,9 @@ let strategy_arg ~default =
 let tech_arg =
   let tech_conv =
     let parse path =
-      match Dp_tech.Tech_file.of_file path with
-      | t -> Ok t
-      | exception Dp_tech.Tech_file.Parse_error msg -> Error (`Msg msg)
-      | exception Sys_error msg -> Error (`Msg msg)
+      match Dp_tech.Tech_file.of_file_res path with
+      | Ok t -> Ok t
+      | Error d -> Error (`Msg (Dp_diag.Diag.to_string d))
     in
     Arg.conv (parse, Dp_tech.Tech.pp)
   in
@@ -155,6 +179,24 @@ let pipeline_arg =
     & info [ "pipeline" ] ~docv:"T"
         ~doc:"Report a pipeline plan (latency, register bits) for cycle time T ns.")
 
+let check_level_arg =
+  let level_conv =
+    let parse s =
+      match Dp_verify.Lint.check_level_of_name s with
+      | Some l -> Ok l
+      | None -> Error (`Msg (s ^ ": expected off, warn or strict"))
+    in
+    let print ppf l = Fmt.string ppf (Dp_verify.Lint.check_level_name l) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value & opt level_conv Dp_verify.Lint.Off
+    & info [ "check-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Structural integrity gate on the synthesized netlist: off (default), \
+           warn (report lint findings, proceed), strict (fail on any \
+           warning-or-worse finding).")
+
 (* ------------------------------------------------------------------ *)
 (* Shared actions *)
 
@@ -165,9 +207,13 @@ let env_of_vars expr vars =
         Dp_expr.Env.add_uniform name ~width ~arrival ~prob env)
       Dp_expr.Env.empty vars
   in
-  match Dp_expr.Env.check_covers expr env with
-  | () -> Ok env
-  | exception Invalid_argument msg -> Error msg
+  match Dp_expr.Env.check_covers_res expr env with
+  | Ok () -> Ok env
+  | Error d -> Error (Dp_diag.Diag.to_string d)
+
+let fail_diag d =
+  Fmt.epr "error: %a@." Dp_diag.Diag.pp d;
+  exit 3
 
 let report_result (r : Dp_flow.Synth.result) ~check ~cells ~verilog ~dot
     ?testbench ?pipeline expr =
@@ -218,28 +264,31 @@ let report_result (r : Dp_flow.Synth.result) ~check ~cells ~verilog ~dot
 
 let synth_cmd =
   let action expr vars width strategy tech adder recoding multiplier_style
-      verilog dot testbench pipeline check cells =
+      verilog dot testbench pipeline check cells check_level =
     match env_of_vars expr vars with
     | Error msg ->
       Fmt.epr "error: %s (bind it with -v)@." msg;
       exit 1
-    | Ok env ->
-      let r =
-        Dp_flow.Synth.run ~tech ~adder
+    | Ok env -> (
+      match
+        Dp_flow.Synth.run_res ~tech ~adder
           ~lower_config:{ recoding; multiplier_style }
-          ?width strategy env expr
-      in
-      report_result r ~check ~cells ~verilog ~dot ?testbench ?pipeline expr
+          ?width ~check_level strategy env expr
+      with
+      | Error d -> fail_diag d
+      | Ok r ->
+        report_result r ~check ~cells ~verilog ~dot ?testbench ?pipeline expr)
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize one expression")
     Term.(
       const action $ expr_arg $ vars_arg $ width_arg
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
       $ tech_arg $ adder_arg $ recoding_arg $ multiplier_arg $ verilog_arg
-      $ dot_arg $ testbench_arg $ pipeline_arg $ check_arg $ cells_arg)
+      $ dot_arg $ testbench_arg $ pipeline_arg $ check_arg $ cells_arg
+      $ check_level_arg)
 
 let compare_cmd =
-  let action expr vars width adder =
+  let action expr vars width adder check_level =
     match env_of_vars expr vars with
     | Error msg ->
       Fmt.epr "error: %s (bind it with -v)@." msg;
@@ -248,7 +297,14 @@ let compare_cmd =
       let rows =
         List.map
           (fun strategy ->
-            let r = Dp_flow.Synth.run ~adder ?width strategy env expr in
+            let r =
+              match
+                Dp_flow.Synth.run_res ~adder ?width ~check_level strategy env
+                  expr
+              with
+              | Ok r -> r
+              | Error d -> fail_diag d
+            in
             [
               Dp_flow.Strategy.name strategy;
               Dp_flow.Report.ns r.stats.delay;
@@ -265,7 +321,46 @@ let compare_cmd =
            ~rows)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Synthesize with every strategy and tabulate")
-    Term.(const action $ expr_arg $ vars_arg $ width_arg $ adder_arg)
+    Term.(
+      const action $ expr_arg $ vars_arg $ width_arg $ adder_arg
+      $ check_level_arg)
+
+let lint_cmd =
+  let action expr vars width strategy tech adder =
+    match env_of_vars expr vars with
+    | Error msg ->
+      Fmt.epr "error: %s (bind it with -v)@." msg;
+      exit 1
+    | Ok env -> (
+      match Dp_flow.Synth.run_res ~tech ~adder ?width strategy env expr with
+      | Error d -> fail_diag d
+      | Ok r ->
+        let findings = Dp_verify.Lint.run r.netlist in
+        List.iter (Fmt.pr "%a@." Dp_verify.Lint.pp_finding) findings;
+        let count sev =
+          List.length
+            (List.filter
+               (fun (f : Dp_verify.Lint.finding) -> f.severity = sev)
+               findings)
+        in
+        let errors = count Dp_diag.Diag.Error in
+        Fmt.pr "lint: %d error(s), %d warning(s), %d note(s) over %d nets, %d cells@."
+          errors
+          (count Dp_diag.Diag.Warning)
+          (count Dp_diag.Diag.Info)
+          (Dp_netlist.Netlist.net_count r.netlist)
+          (Dp_netlist.Netlist.cell_count r.netlist);
+        if errors > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Synthesize one expression and report every structural integrity \
+          finding of the resulting netlist")
+    Term.(
+      const action $ expr_arg $ vars_arg $ width_arg
+      $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
+      $ tech_arg $ adder_arg)
 
 let program_conv =
   let parse s =
@@ -377,4 +472,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ synth_cmd; synth_multi_cmd; compare_cmd; designs_cmd; design_cmd ]))
+          [
+            synth_cmd; synth_multi_cmd; compare_cmd; lint_cmd; designs_cmd;
+            design_cmd;
+          ]))

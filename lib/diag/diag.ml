@@ -1,0 +1,46 @@
+type severity = Info | Warning | Error
+
+type t = {
+  code : string;
+  subsystem : string;
+  severity : severity;
+  message : string;
+  context : (string * string) list;
+}
+
+exception E of t
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let pp_severity ppf s = Fmt.string ppf (severity_name s)
+
+let v ?(severity = Error) ?(context = []) ~code ~subsystem message =
+  { code; subsystem; severity; message; context }
+
+let errorf ?severity ?context ~code ~subsystem fmt =
+  Fmt.kstr (fun message -> v ?severity ?context ~code ~subsystem message) fmt
+
+let error d = Stdlib.Error d
+let fail d = raise (E d)
+let get_ok = function Ok x -> x | Stdlib.Error d -> fail d
+
+let pp ppf d =
+  Fmt.pf ppf "%s [%s/%a] %s" d.code d.subsystem pp_severity d.severity d.message;
+  match d.context with
+  | [] -> ()
+  | ctx ->
+    Fmt.pf ppf " (%a)"
+      Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string string))
+      ctx
+
+let to_string d = Fmt.str "%a" pp d
+
+(* Register a printer so an uncaught [E] on a legacy path still reports the
+   structured payload instead of an opaque constructor. *)
+let () =
+  Printexc.register_printer (function
+    | E d -> Some (to_string d)
+    | _ -> None)

@@ -1,0 +1,47 @@
+(** Typed diagnostics shared by every user-facing entry point of the flow.
+
+    A [t] identifies {e what} went wrong (a stable [code]), {e where}
+    ([subsystem]), and {e why} ([message] plus key/value [context]),
+    so callers can branch on codes instead of matching substrings of
+    [Failure] payloads.  Codes follow ["DP-<SUBSYSTEM><NNN>"], e.g.
+    ["DP-PARSE001"]; the catalogue lives in the README's
+    "Verification & diagnostics" section. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  code : string;  (** stable machine-readable identifier, e.g. ["DP-ENV002"] *)
+  subsystem : string;  (** ["parse"], ["env"], ["tech"], ["synth"], ["lint"], ["cli"] *)
+  severity : severity;
+  message : string;
+  context : (string * string) list;  (** ordered key/value details *)
+}
+
+(** Raised by the exception-style wrappers around result-returning APIs. *)
+exception E of t
+
+val severity_name : severity -> string
+val pp_severity : severity Fmt.t
+
+(** [v ~code ~subsystem msg] builds a diagnostic (default severity
+    [Error], empty context). *)
+val v : ?severity:severity -> ?context:(string * string) list ->
+  code:string -> subsystem:string -> string -> t
+
+(** [errorf ~code ~subsystem fmt ...] formats the message in place. *)
+val errorf : ?severity:severity -> ?context:(string * string) list ->
+  code:string -> subsystem:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** [error d] is [Stdlib.Error d] — for building [result] pipelines. *)
+val error : t -> ('a, t) result
+
+(** [fail d] raises {!E}. *)
+val fail : t -> 'a
+
+(** Unwraps [Ok] or raises {!E} — bridges result APIs to the
+    exception-style wrappers kept for backward compatibility. *)
+val get_ok : ('a, t) result -> 'a
+
+val pp : t Fmt.t
+val to_string : t -> string

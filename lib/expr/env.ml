@@ -63,6 +63,28 @@ let check_covers expr env =
         invalid_arg (Printf.sprintf "Env.check_covers: %s has no binding" v))
     (Ast.vars expr)
 
+let add_res ?arrival ?prob ?signed name ~width env =
+  match add ?arrival ?prob ?signed name ~width env with
+  | env -> Ok env
+  | exception Invalid_argument msg ->
+    Dp_diag.Diag.error
+      (Dp_diag.Diag.v
+         ~code:(if width < 1 then "DP-ENV001" else "DP-ENV002")
+         ~subsystem:"env"
+         ~context:[ ("variable", name); ("width", string_of_int width) ]
+         msg)
+
+let check_covers_res expr env =
+  match List.filter (fun v -> not (mem v env)) (Ast.vars expr) with
+  | [] -> Ok ()
+  | missing ->
+    Dp_diag.Diag.error
+      (Dp_diag.Diag.errorf ~code:"DP-ENV003" ~subsystem:"env"
+         ~context:(List.map (fun v -> ("unbound", v)) missing)
+         "%d variable(s) of the expression have no binding: %s"
+         (List.length missing)
+         (String.concat ", " missing))
+
 let pp ppf env =
   let pp_binding ppf (name, info) =
     Fmt.pf ppf "%s:%s%d" name (if info.signed then "s" else "") info.width

@@ -45,4 +45,15 @@ val of_widths : (string * int) list -> t
 (** @raise Invalid_argument if some variable of the expression is unbound. *)
 val check_covers : Ast.t -> t -> unit
 
+(** Like {!add}, but validation failures become typed diagnostics:
+    [DP-ENV001] for a non-positive width, [DP-ENV002] for bad
+    arrival/probability attributes. *)
+val add_res :
+  ?arrival:float array -> ?prob:float array -> ?signed:bool ->
+  string -> width:int -> t -> (t, Dp_diag.Diag.t) result
+
+(** Like {!check_covers}, but reports {e all} unbound variables in one
+    [DP-ENV003] diagnostic (one [("unbound", var)] context entry each). *)
+val check_covers_res : Ast.t -> t -> (unit, Dp_diag.Diag.t) result
+
 val pp : t Fmt.t

@@ -143,6 +143,14 @@ let expr s =
 
 let expr_opt s = match expr s with e -> Some e | exception Error _ -> None
 
+let diag_of_error ~code ~input msg =
+  Dp_diag.Diag.v ~code ~subsystem:"parse" ~context:[ ("input", input) ] msg
+
+let expr_res s =
+  match expr s with
+  | e -> Ok e
+  | exception Error msg -> Dp_diag.Diag.error (diag_of_error ~code:"DP-PARSE001" ~input:s msg)
+
 (* A program is a ';'-separated sequence of [name = expr] statements.
    Earlier bindings are inlined into later expressions (there are no
    cycles: a name must be bound before use); the statements whose names no
@@ -191,3 +199,9 @@ let program s =
       if referenced then outputs rest else (name, inlined) :: outputs rest
   in
   outputs bindings
+
+let program_res s =
+  match program s with
+  | ports -> Ok ports
+  | exception Error msg ->
+    Dp_diag.Diag.error (diag_of_error ~code:"DP-PARSE002" ~input:s msg)

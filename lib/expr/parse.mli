@@ -9,9 +9,17 @@ val expr : string -> Ast.t
 
 val expr_opt : string -> Ast.t option
 
+(** Like {!expr}, but a syntax error becomes a typed [DP-PARSE001]
+    diagnostic (the offending input is in the context) instead of an
+    exception. *)
+val expr_res : string -> (Ast.t, Dp_diag.Diag.t) result
+
 (** Parse a ';'-separated program of [name = expr] statements.  Earlier
     bindings are inlined into later expressions; the statements whose names
     are never referenced later are returned as the outputs, in program
     order.  @raise Error on syntax errors, duplicate bindings or an empty
     program. *)
 val program : string -> (string * Ast.t) list
+
+(** Like {!program}, with failures as typed [DP-PARSE002] diagnostics. *)
+val program_res : string -> ((string * Ast.t) list, Dp_diag.Diag.t) result

@@ -58,7 +58,31 @@ let rows_max_arrival netlist (row_a, row_b) =
        0.0 row_a)
     row_b
 
-let run ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
+(* Post-synthesis integrity gate: structural lint plus the CPA-boundary
+   width consistency of every declared output bus. *)
+let check_netlist ~check_level netlist ports =
+  match (check_level : Dp_verify.Lint.check_level) with
+  | Off -> Ok ()
+  | Warn | Strict -> (
+    match Dp_verify.Lint.gate ~level:check_level netlist with
+    | Error _ as e -> e
+    | Ok () ->
+      let rec widths = function
+        | [] -> Ok ()
+        | (name, width) :: rest ->
+          let declared = Array.length (Netlist.find_output netlist name) in
+          if declared <> width then
+            Dp_diag.Diag.error
+              (Dp_diag.Diag.errorf ~code:"DP-SYNTH003" ~subsystem:"synth"
+                 ~context:[ ("output", name) ]
+                 "output %s is %d bits wide at the final adder boundary, but \
+                  %d bits were requested"
+                 name declared width)
+          else widths rest
+      in
+      widths ports)
+
+let build ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
     ?(lower_config = Dp_bitmatrix.Lower.default_config) ?width strategy env expr =
   let width =
     match width with Some w -> w | None -> Range.natural_width env expr
@@ -91,6 +115,25 @@ let run ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
     let out = Dp_adders.Adder.build_rows adder netlist ~width final_rows in
     finish ~reduced_max_arrival strategy netlist ~width out
 
+let run ?tech ?adder ?lower_config ?width
+    ?(check_level = Dp_verify.Lint.Off) strategy env expr =
+  let r = build ?tech ?adder ?lower_config ?width strategy env expr in
+  Dp_diag.Diag.get_ok (check_netlist ~check_level r.netlist [ (r.output, r.width) ]);
+  r
+
+let run_res ?tech ?adder ?lower_config ?width ?check_level strategy env expr =
+  match Env.check_covers_res expr env with
+  | Error _ as e -> e
+  | Ok () -> (
+    match run ?tech ?adder ?lower_config ?width ?check_level strategy env expr with
+    | r -> Ok r
+    | exception Dp_diag.Diag.E d -> Error d
+    | exception Invalid_argument msg ->
+      Dp_diag.Diag.error
+        (Dp_diag.Diag.v ~code:"DP-SYNTH001" ~subsystem:"synth"
+           ~context:[ ("strategy", Strategy.name strategy) ]
+           msg))
+
 type port = { name : string; expr : Ast.t; width : int }
 
 type multi_result = {
@@ -108,7 +151,8 @@ type multi_result = {
    paper's "applying our algorithm to all arithmetic expressions in a
    circuit iteratively". *)
 let run_multi ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
-    ?(lower_config = Dp_bitmatrix.Lower.default_config) strategy env ports =
+    ?(lower_config = Dp_bitmatrix.Lower.default_config)
+    ?(check_level = Dp_verify.Lint.Off) strategy env ports =
   (match ports with [] -> invalid_arg "Synth.run_multi: no outputs" | _ :: _ -> ());
   let netlist = Netlist.create ~tech in
   List.iter
@@ -139,6 +183,9 @@ let run_multi ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
       in
       Netlist.set_output netlist p.name out)
     ports;
+  Dp_diag.Diag.get_ok
+    (check_netlist ~check_level netlist
+       (List.map (fun p -> (p.name, p.width)) ports));
   {
     strategy;
     netlist;
@@ -147,6 +194,16 @@ let run_multi ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
     tree_switching = Dp_power.Switching.tree_switching netlist;
     total_switching = Dp_power.Switching.total_switching netlist;
   }
+
+let run_multi_res ?tech ?adder ?lower_config ?check_level strategy env ports =
+  match run_multi ?tech ?adder ?lower_config ?check_level strategy env ports with
+  | r -> Ok r
+  | exception Dp_diag.Diag.E d -> Error d
+  | exception Invalid_argument msg ->
+    Dp_diag.Diag.error
+      (Dp_diag.Diag.v ~code:"DP-SYNTH001" ~subsystem:"synth"
+         ~context:[ ("strategy", Strategy.name strategy) ]
+         msg)
 
 (* Try every final-adder architecture and keep the fastest netlist — the
    flow-level analogue of letting downstream logic synthesis restructure

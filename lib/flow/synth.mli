@@ -21,11 +21,29 @@ type result = {
 (** [run strategy env expr] synthesizes [expr] mod 2^width (default: the
     natural width).  [adder] picks the final/CPA adder architecture;
     [lower_config] the coefficient recoding.  Matrix strategies share the
-    same lowering; [Conventional] builds its own word-level structure. *)
+    same lowering; [Conventional] builds its own word-level structure.
+
+    [check_level] (default [Off]) gates the result on the structural
+    integrity checker: [Warn] reports {!Dp_verify.Lint} findings on
+    stderr and proceeds, [Strict] additionally @raise Dp_diag.Diag.E
+    with a [DP-SYNTH002] (lint) or [DP-SYNTH003] (output width)
+    diagnostic if any finding survives.  Prefer {!run_res} for the
+    exception-free form. *)
 val run :
   ?tech:Dp_tech.Tech.t -> ?adder:Dp_adders.Adder.kind ->
   ?lower_config:Dp_bitmatrix.Lower.config -> ?width:int ->
+  ?check_level:Dp_verify.Lint.check_level ->
   Strategy.t -> Env.t -> Ast.t -> result
+
+(** Like {!run}, but every user-facing failure — unbound variables
+    ([DP-ENV003]), bad widths surfacing from the lowering
+    ([DP-SYNTH001]), strict-mode lint findings ([DP-SYNTH002/3]) — comes
+    back as a typed diagnostic instead of an exception. *)
+val run_res :
+  ?tech:Dp_tech.Tech.t -> ?adder:Dp_adders.Adder.kind ->
+  ?lower_config:Dp_bitmatrix.Lower.config -> ?width:int ->
+  ?check_level:Dp_verify.Lint.check_level ->
+  Strategy.t -> Env.t -> Ast.t -> (result, Dp_diag.Diag.t) Stdlib.result
 
 type port = { name : string; expr : Ast.t; width : int }
 
@@ -46,7 +64,17 @@ type multi_result = {
 val run_multi :
   ?tech:Dp_tech.Tech.t -> ?adder:Dp_adders.Adder.kind ->
   ?lower_config:Dp_bitmatrix.Lower.config ->
+  ?check_level:Dp_verify.Lint.check_level ->
   Strategy.t -> Env.t -> port list -> multi_result
+
+(** Exception-free {!run_multi}; failures are typed diagnostics as in
+    {!run_res}. *)
+val run_multi_res :
+  ?tech:Dp_tech.Tech.t -> ?adder:Dp_adders.Adder.kind ->
+  ?lower_config:Dp_bitmatrix.Lower.config ->
+  ?check_level:Dp_verify.Lint.check_level ->
+  Strategy.t -> Env.t -> port list ->
+  (multi_result, Dp_diag.Diag.t) Stdlib.result
 
 (** Check every port of a multi-output result; returns the first failing
     port's name with its mismatch. *)

@@ -265,6 +265,18 @@ let fold_cells f acc t = Vec.fold f acc t.cells
 let area t =
   fold_cells (fun acc c -> acc +. Dp_tech.Tech.area t.tech c.kind) 0.0 t
 
+module Mutate = struct
+  let set_driver t n d = Vec.set t.drivers n d
+  let set_prob t n p = Vec.set t.prob n p
+  let set_cell t i c = Vec.set t.cells i c
+
+  let set_cell_input t ~cell ~pin net =
+    let c = Vec.get t.cells cell in
+    let inputs = Array.copy c.inputs in
+    inputs.(pin) <- net;
+    Vec.set t.cells cell { c with inputs }
+end
+
 let max_output_arrival t =
   List.fold_left
     (fun acc (_, nets) ->

@@ -85,6 +85,21 @@ val find_output : t -> string -> net array
 val iter_cells : (int -> cell -> unit) -> t -> unit
 val fold_cells : ('acc -> cell -> 'acc) -> 'acc -> t -> 'acc
 
+(** Raw, invariant-{e breaking} setters.  They bypass every builder
+    invariant (driver/output consistency, topological net ordering,
+    annotation correctness) and leave the structural-hashing caches stale.
+    Their one intended client is [Dp_verify.Inject], which corrupts
+    known-good netlists on purpose to prove the checkers detect the
+    corruption.  Never use them in synthesis code. *)
+module Mutate : sig
+  val set_driver : t -> net -> driver -> unit
+  val set_prob : t -> net -> float -> unit
+  val set_cell : t -> int -> cell -> unit
+
+  (** Rewire one input pin of a cell. *)
+  val set_cell_input : t -> cell:int -> pin:int -> net -> unit
+end
+
 (** Total cell area under the netlist's technology. *)
 val area : t -> float
 

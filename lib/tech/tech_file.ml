@@ -83,6 +83,26 @@ let of_file ?base path =
   let contents = In_channel.with_open_text path In_channel.input_all in
   of_string ?base contents
 
+let of_string_res ?base s =
+  match of_string ?base s with
+  | t -> Ok t
+  | exception Parse_error msg ->
+    Dp_diag.Diag.error (Dp_diag.Diag.v ~code:"DP-TECH001" ~subsystem:"tech" msg)
+
+let of_file_res ?base path =
+  match of_file ?base path with
+  | t -> Ok t
+  | exception Parse_error msg ->
+    Dp_diag.Diag.error
+      (Dp_diag.Diag.v ~code:"DP-TECH001" ~subsystem:"tech"
+         ~context:[ ("file", path) ]
+         msg)
+  | exception Sys_error msg ->
+    Dp_diag.Diag.error
+      (Dp_diag.Diag.v ~code:"DP-TECH002" ~subsystem:"tech"
+         ~context:[ ("file", path) ]
+         msg)
+
 let to_string (t : Tech.t) =
   String.concat "\n"
     [

@@ -1,0 +1,162 @@
+open Dp_netlist
+
+type mutation =
+  | Rewire_input
+  | Cross_outputs
+  | Drop_gate
+  | Flip_const
+  | Forward_input
+  | Duplicate_driver
+  | Dangling_input
+
+let all =
+  [
+    Rewire_input;
+    Cross_outputs;
+    Drop_gate;
+    Flip_const;
+    Forward_input;
+    Duplicate_driver;
+    Dangling_input;
+  ]
+
+let name = function
+  | Rewire_input -> "rewire-input"
+  | Cross_outputs -> "cross-outputs"
+  | Drop_gate -> "drop-gate"
+  | Flip_const -> "flip-const"
+  | Forward_input -> "forward-input"
+  | Duplicate_driver -> "duplicate-driver"
+  | Dangling_input -> "dangling-input"
+
+let expected_rule = function
+  | Rewire_input -> None
+  | Cross_outputs -> Some Lint.Driver_mismatch
+  | Drop_gate -> Some Lint.Arity_violation
+  | Flip_const -> Some Lint.Const_prob
+  | Forward_input -> Some Lint.Topo_violation
+  | Duplicate_driver -> Some Lint.Multiply_driven
+  | Dangling_input -> Some Lint.Dangling_ref
+
+let pick rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+(* Cells with at least one input pin, the usual mutation sites. *)
+let wired_cells nl =
+  let acc = ref [] in
+  Netlist.iter_cells
+    (fun id (c : Netlist.cell) ->
+      if Array.length c.inputs > 0 then acc := id :: !acc)
+    nl;
+  List.rev !acc
+
+(* Nets driven by a cell port, keyed for swapping. *)
+let cell_driven_nets nl =
+  let acc = ref [] in
+  for n = Netlist.net_count nl - 1 downto 0 do
+    match Netlist.driver nl n with
+    | Netlist.From_cell _ -> acc := n :: !acc
+    | Netlist.From_input _ | Netlist.From_const _ -> ()
+  done;
+  !acc
+
+let min_output nl cell =
+  Array.fold_left min max_int (Netlist.cell_output_nets nl cell)
+
+let apply ?(seed = 0) nl mutation =
+  let rng = Random.State.make [| seed; Hashtbl.hash (name mutation) |] in
+  match mutation with
+  | Rewire_input ->
+    (* Keep the net ordering legal — only the function changes. *)
+    let sites =
+      List.filter_map
+        (fun c ->
+          let inputs = (Netlist.cell nl c).inputs in
+          let bound = min (min_output nl c) (Netlist.net_count nl) in
+          let pins =
+            List.filter
+              (fun pin ->
+                (* at least one candidate net differs from the current one *)
+                bound > 1 || (bound = 1 && inputs.(pin) <> 0))
+              (List.init (Array.length inputs) Fun.id)
+          in
+          match pins with [] -> None | _ -> Some (c, pins, bound))
+        (wired_cells nl)
+    in
+    Option.map
+      (fun (c, pins, bound) ->
+        let pin = Option.get (pick rng pins) in
+        let current = (Netlist.cell nl c).inputs.(pin) in
+        let rec fresh () =
+          let n = Random.State.int rng bound in
+          if n = current then fresh () else n
+        in
+        let replacement = fresh () in
+        Netlist.Mutate.set_cell_input nl ~cell:c ~pin replacement;
+        Printf.sprintf "rewired cell %d pin %d from net %d to net %d" c pin
+          current replacement)
+      (pick rng sites)
+  | Cross_outputs -> (
+    match cell_driven_nets nl with
+    | [] | [ _ ] -> None
+    | nets ->
+      let a = Option.get (pick rng nets) in
+      let b = Option.get (pick rng (List.filter (fun n -> n <> a) nets)) in
+      let da = Netlist.driver nl a and db = Netlist.driver nl b in
+      Netlist.Mutate.set_driver nl a db;
+      Netlist.Mutate.set_driver nl b da;
+      Some (Printf.sprintf "swapped the drivers of nets %d and %d" a b))
+  | Drop_gate ->
+    Option.map
+      (fun c ->
+        let cell = Netlist.cell nl c in
+        Netlist.Mutate.set_cell nl c { cell with inputs = [||] };
+        Printf.sprintf "dropped the %d inputs of cell %d (%s)"
+          (Array.length cell.inputs) c
+          (Dp_tech.Cell_kind.name cell.kind))
+      (pick rng (wired_cells nl))
+  | Flip_const ->
+    let consts = ref [] in
+    for n = Netlist.net_count nl - 1 downto 0 do
+      match Netlist.driver nl n with
+      | Netlist.From_const b -> consts := (n, b) :: !consts
+      | Netlist.From_input _ | Netlist.From_cell _ -> ()
+    done;
+    Option.map
+      (fun (n, b) ->
+        Netlist.Mutate.set_driver nl n (Netlist.From_const (not b));
+        Printf.sprintf "flipped constant net %d from %b to %b" n b (not b))
+      (pick rng !consts)
+  | Forward_input ->
+    let sites =
+      List.filter (fun c -> min_output nl c < Netlist.net_count nl)
+        (wired_cells nl)
+    in
+    Option.map
+      (fun c ->
+        let inputs = (Netlist.cell nl c).inputs in
+        let pin = Random.State.int rng (Array.length inputs) in
+        let lo = min_output nl c in
+        let target = lo + Random.State.int rng (Netlist.net_count nl - lo) in
+        Netlist.Mutate.set_cell_input nl ~cell:c ~pin target;
+        Printf.sprintf "rewired cell %d pin %d forward to net %d" c pin target)
+      (pick rng sites)
+  | Duplicate_driver -> (
+    match cell_driven_nets nl with
+    | [] | [ _ ] -> None
+    | nets ->
+      let a = Option.get (pick rng nets) in
+      let b = Option.get (pick rng (List.filter (fun n -> n <> a) nets)) in
+      Netlist.Mutate.set_driver nl b (Netlist.driver nl a);
+      Some (Printf.sprintf "net %d now claims net %d's driver" b a))
+  | Dangling_input ->
+    Option.map
+      (fun c ->
+        let inputs = (Netlist.cell nl c).inputs in
+        let pin = Random.State.int rng (Array.length inputs) in
+        let target = Netlist.net_count nl + 1 + Random.State.int rng 64 in
+        Netlist.Mutate.set_cell_input nl ~cell:c ~pin target;
+        Printf.sprintf "cell %d pin %d now references nonexistent net %d" c pin
+          target)
+      (pick rng (wired_cells nl))

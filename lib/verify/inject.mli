@@ -1,0 +1,47 @@
+(** Seeded fault injection: deliberately corrupt a known-good netlist and
+    let the test suite assert that {!Lint} and/or [Dp_sim.Equiv] notices.
+    A checker nobody has ever seen fail is indistinguishable from [fun _
+    -> []]; this module provokes the failures.
+
+    Mutations are destructive (they edit the netlist in place through
+    [Netlist.Mutate]), so apply each one to a freshly synthesized
+    netlist.  With a fixed [seed] the chosen site is deterministic. *)
+
+open Dp_netlist
+
+type mutation =
+  | Rewire_input
+      (** rewire one cell input pin to a different, older net — structure
+          stays legal, the {e function} changes; only equivalence
+          checking can catch it *)
+  | Cross_outputs
+      (** swap the drivers of two cell-output nets (crossed wires between
+          columns) — caught by [Driver_mismatch] *)
+  | Drop_gate
+      (** erase a cell's input list, modelling a dropped gate — caught by
+          [Arity_violation] *)
+  | Flip_const
+      (** invert a constant driver, leaving its probability annotation
+          stale — caught by [Const_prob] (and by equivalence) *)
+  | Forward_input
+      (** rewire a cell input to a net no older than the cell's outputs,
+          breaking the evaluation order — caught by [Topo_violation] *)
+  | Duplicate_driver
+      (** point one net's driver at another net's source port — caught by
+          [Multiply_driven] *)
+  | Dangling_input
+      (** point a cell input past the end of the net table — caught by
+          [Dangling_ref] *)
+
+val all : mutation list
+val name : mutation -> string
+
+(** The lint rule expected to fire, or [None] for the purely semantic
+    {!Rewire_input} (whose detector is equivalence checking). *)
+val expected_rule : mutation -> Lint.rule option
+
+(** [apply ~seed nl m] picks a site with a [seed]-derived generator and
+    corrupts [nl]; returns a description of what was done, or [None] when
+    the netlist offers no applicable site (e.g. {!Flip_const} on a
+    netlist without constants). *)
+val apply : ?seed:int -> Netlist.t -> mutation -> string option

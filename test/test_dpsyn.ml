@@ -19,6 +19,7 @@ let () =
       ("exhaustive", Test_exhaustive.suite);
       ("pipeline", Test_pipeline.suite);
       ("misc", Test_misc.suite);
+      ("verify", Test_verify.suite);
       ("properties", Test_props.suite);
       ("properties2", Test_props2.suite);
     ]

@@ -1,0 +1,250 @@
+open Dp_flow
+open Dp_netlist
+open Dp_verify
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Positive matrix: the lint is silent on every netlist the flow builds *)
+
+let env = Dp_expr.Env.of_widths [ ("x", 5); ("y", 4); ("z", 6) ]
+
+let mixed_exprs =
+  List.map Dp_expr.Parse.expr
+    [ "x + y - z + x*y"; "x*y + 3*z + 7"; "x^2 - y*z + 5" ]
+
+(* "Clean" = nothing at Warning+ severity.  Info-level dead-gate notes are
+   expected of legitimate construction (dropped MSB carry-outs). *)
+let assert_clean label netlist =
+  match Lint.significant (Lint.run netlist) with
+  | [] -> ()
+  | f :: _ as fs ->
+    Alcotest.failf "%s: %d lint findings, first: %a" label (List.length fs)
+      Lint.pp_finding f
+
+let test_lint_clean_every_strategy () =
+  List.iter
+    (fun expr ->
+      List.iter
+        (fun strategy ->
+          let r = Synth.run strategy env expr in
+          assert_clean
+            (Fmt.str "%a under %s" Dp_expr.Ast.pp expr (Strategy.name strategy))
+            r.netlist)
+        Strategy.all)
+    mixed_exprs
+
+let test_lint_clean_every_adder () =
+  List.iter
+    (fun adder ->
+      let r = Synth.run ~adder Strategy.Fa_aot env (List.hd mixed_exprs) in
+      assert_clean (Dp_adders.Adder.name adder) r.netlist)
+    Dp_adders.Adder.all
+
+let test_lint_clean_multi_output () =
+  let ports =
+    List.map
+      (fun (name, e) ->
+        { Synth.name; expr = e; width = Dp_expr.Range.natural_width env e })
+      (Dp_expr.Parse.program "t = x + y; u = t*z - y; v = t + 2")
+  in
+  List.iter
+    (fun strategy ->
+      let r = Synth.run_multi strategy env ports in
+      assert_clean (Strategy.name strategy ^ " multi") r.netlist)
+    Strategy.all
+
+let test_strict_gate_passes_every_strategy () =
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun expr ->
+          match
+            Synth.run_res ~check_level:Lint.Strict strategy env expr
+          with
+          | Ok _ -> ()
+          | Error d ->
+            Alcotest.failf "%s rejected by strict gate: %a"
+              (Strategy.name strategy) Dp_diag.Diag.pp d)
+        mixed_exprs)
+    Strategy.all
+
+(* ------------------------------------------------------------------ *)
+(* Negative: every injected fault class is caught by lint or equivalence *)
+
+let victim_expr = Dp_expr.Parse.expr "x*y + z"
+let fresh () = Synth.run Strategy.Fa_aot env victim_expr
+let seeds = [ 0; 1; 2; 3; 4 ]
+
+let has_rule rule findings = List.exists (fun f -> f.Lint.rule = rule) findings
+
+let test_inject_detected (m : Inject.mutation) () =
+  List.iter
+    (fun seed ->
+      let r = fresh () in
+      match Inject.apply ~seed r.netlist m with
+      | None -> Alcotest.failf "%s: no applicable site" (Inject.name m)
+      | Some descr -> (
+        let errors = Lint.errors (Lint.run r.netlist) in
+        match Inject.expected_rule m with
+        | Some rule ->
+          if not (has_rule rule errors) then
+            Alcotest.failf "%s (%s): lint missed it; %d other errors"
+              (Inject.name m) descr (List.length errors)
+        | None -> (
+          (* A semantic-only fault must leave the structure clean — the
+             whole point is that only equivalence checking can see it. *)
+          (match errors with
+          | [] -> ()
+          | f :: _ ->
+            Alcotest.failf "%s (%s): unexpectedly structural: %a"
+              (Inject.name m) descr Lint.pp_finding f);
+          match Synth.verify ~trials:500 r victim_expr with
+          | Error _ -> ()
+          | Ok () ->
+            Alcotest.failf "%s (%s): equivalence check did not notice"
+              (Inject.name m) descr)))
+    seeds
+
+let test_every_mutation_applicable () =
+  List.iter
+    (fun m ->
+      let r = fresh () in
+      match Inject.apply ~seed:11 r.netlist m with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s inapplicable" (Inject.name m))
+    Inject.all
+
+(* ------------------------------------------------------------------ *)
+(* Targeted lint rules through the raw mutation API *)
+
+let test_lint_flags_empty_outputs () =
+  let nl = mk_netlist () in
+  let a = Netlist.add_input nl "a" ~width:2 in
+  Netlist.set_output nl "o" [||];
+  ignore a;
+  let fs = Lint.run nl in
+  checkb "empty port" true (has_rule Lint.Empty_port fs);
+  checkb "unreachable input-less netlist is otherwise fine" true
+    (Lint.errors fs = [])
+
+let test_lint_flags_bad_prob () =
+  let r = fresh () in
+  Netlist.Mutate.set_prob r.netlist 0 1.5;
+  checkb "prob range" true (has_rule Lint.Prob_range (Lint.run r.netlist))
+
+let test_lint_flags_cycle () =
+  let nl = mk_netlist () in
+  let a = Netlist.add_input nl "a" ~width:1 in
+  (* buffers: the builder neither caches nor simplifies them away *)
+  let b = Netlist.buf nl a.(0) in
+  let c = Netlist.buf nl b in
+  Netlist.set_output nl "o" [| c |];
+  (* feed the first buffer from the second's output: a genuine loop *)
+  Netlist.Mutate.set_cell_input nl ~cell:0 ~pin:0 c;
+  let fs = Lint.run nl in
+  checkb "cycle" true (has_rule Lint.Combinational_cycle fs);
+  checkb "order violation too" true (has_rule Lint.Topo_violation fs)
+
+let test_lint_flags_unreachable () =
+  let nl = mk_netlist () in
+  let a = Netlist.add_input nl "a" ~width:2 in
+  let dead = Netlist.and_n nl [ a.(0); a.(1) ] in
+  ignore dead;
+  Netlist.set_output nl "o" [| a.(0) |];
+  let fs = Lint.run nl in
+  checkb "unreachable" true (has_rule Lint.Unreachable_cell fs);
+  checkb "info only" true (Lint.significant fs = [])
+
+(* ------------------------------------------------------------------ *)
+(* Typed diagnostics on the user-facing entry points *)
+
+let test_parse_diag () =
+  (match Dp_expr.Parse.expr_res "x + " with
+  | Error d ->
+    checkb "code" true (d.Dp_diag.Diag.code = "DP-PARSE001");
+    checkb "subsystem" true (d.Dp_diag.Diag.subsystem = "parse");
+    checkb "context carries input" true
+      (List.mem_assoc "input" d.Dp_diag.Diag.context)
+  | Ok _ -> Alcotest.fail "parsed garbage");
+  match Dp_expr.Parse.expr_res "x + y" with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "rejected good input: %a" Dp_diag.Diag.pp d
+
+let test_env_diag () =
+  (match Dp_expr.Env.add_res "w" ~width:0 Dp_expr.Env.empty with
+  | Error d -> checkb "width code" true (d.Dp_diag.Diag.code = "DP-ENV001")
+  | Ok _ -> Alcotest.fail "accepted width 0");
+  match
+    Dp_expr.Env.check_covers_res
+      (Dp_expr.Parse.expr "p + q + x")
+      (Dp_expr.Env.of_widths [ ("x", 4) ])
+  with
+  | Error d ->
+    checkb "covers code" true (d.Dp_diag.Diag.code = "DP-ENV003");
+    checki "lists both unbound" 2
+      (List.length
+         (List.filter (fun (k, _) -> k = "unbound") d.Dp_diag.Diag.context))
+  | Ok () -> Alcotest.fail "missed unbound variables"
+
+let test_tech_diag () =
+  (match Dp_tech.Tech_file.of_string_res "bogus_key 1.0" with
+  | Error d -> checkb "tech code" true (d.Dp_diag.Diag.code = "DP-TECH001")
+  | Ok _ -> Alcotest.fail "accepted unknown key");
+  match Dp_tech.Tech_file.of_file_res "/nonexistent/path.tech" with
+  | Error d -> checkb "io code" true (d.Dp_diag.Diag.code = "DP-TECH002")
+  | Ok _ -> Alcotest.fail "read a nonexistent file"
+
+let test_synth_diag () =
+  (match Synth.run_res Strategy.Fa_aot Dp_expr.Env.empty victim_expr with
+  | Error d -> checkb "unbound" true (d.Dp_diag.Diag.code = "DP-ENV003")
+  | Ok _ -> Alcotest.fail "synthesized with an empty environment");
+  match Synth.run_multi_res Strategy.Fa_aot env [] with
+  | Error d -> checkb "no ports" true (d.Dp_diag.Diag.code = "DP-SYNTH001")
+  | Ok _ -> Alcotest.fail "synthesized an empty port list"
+
+let test_strict_gate_rejects_corruption () =
+  let r = fresh () in
+  ignore (Inject.apply ~seed:7 r.netlist Inject.Drop_gate);
+  match
+    Lint.gate ~level:Lint.Strict ~on_finding:(fun _ -> ()) r.netlist
+  with
+  | Error d -> checkb "gate code" true (d.Dp_diag.Diag.code = "DP-SYNTH002")
+  | Ok () -> Alcotest.fail "strict gate passed a corrupted netlist"
+
+let test_check_level_names () =
+  List.iter
+    (fun l ->
+      match Lint.check_level_of_name (Lint.check_level_name l) with
+      | Some l' -> checkb "roundtrip" true (l = l')
+      | None -> Alcotest.failf "%s not parsed" (Lint.check_level_name l))
+    [ Lint.Off; Lint.Warn; Lint.Strict ];
+  checkb "unknown" true (Lint.check_level_of_name "loose" = None)
+
+let suite =
+  [
+    case "lint: clean on every strategy x mixed exprs"
+      test_lint_clean_every_strategy;
+    case "lint: clean on every final adder" test_lint_clean_every_adder;
+    case "lint: clean on multi-output netlists" test_lint_clean_multi_output;
+    case "strict gate passes every strategy" test_strict_gate_passes_every_strategy;
+    case "inject: rewire-input caught" (test_inject_detected Inject.Rewire_input);
+    case "inject: cross-outputs caught" (test_inject_detected Inject.Cross_outputs);
+    case "inject: drop-gate caught" (test_inject_detected Inject.Drop_gate);
+    case "inject: flip-const caught" (test_inject_detected Inject.Flip_const);
+    case "inject: forward-input caught" (test_inject_detected Inject.Forward_input);
+    case "inject: duplicate-driver caught"
+      (test_inject_detected Inject.Duplicate_driver);
+    case "inject: dangling-input caught"
+      (test_inject_detected Inject.Dangling_input);
+    case "inject: every class has a site" test_every_mutation_applicable;
+    case "lint: empty output port" test_lint_flags_empty_outputs;
+    case "lint: probability out of range" test_lint_flags_bad_prob;
+    case "lint: combinational cycle" test_lint_flags_cycle;
+    case "lint: unreachable cell is a warning" test_lint_flags_unreachable;
+    case "diag: parse" test_parse_diag;
+    case "diag: env" test_env_diag;
+    case "diag: tech" test_tech_diag;
+    case "diag: synth" test_synth_diag;
+    case "diag: strict gate rejects corruption" test_strict_gate_rejects_corruption;
+    case "check levels roundtrip" test_check_level_names;
+  ]
