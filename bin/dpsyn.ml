@@ -16,16 +16,20 @@ open Cmdliner
 (* Argument parsing *)
 
 let parse_var_spec spec =
-  (* name:width[:arrival[:prob]] — every field validated here so a bad
+  (* name:width[s][:arrival[:prob]] — every field validated here so a bad
      spec fails at the command line with a precise message instead of
-     deep in the flow (or, for probabilities, not at all). *)
+     deep in the flow (or, for probabilities, not at all).  A trailing
+     [s] on the width marks the variable as signed (two's complement). *)
   let err fmt = Fmt.kstr (fun s -> Error (`Msg (spec ^ ": " ^ s))) fmt in
   let ( let* ) r k = match r with Ok v -> k v | Error _ as e -> e in
   let width_of s =
+    let n = String.length s in
+    let signed = n > 0 && (s.[n - 1] = 's' || s.[n - 1] = 'S') in
+    let s = if signed then String.sub s 0 (n - 1) else s in
     match int_of_string_opt s with
     | None -> err "width %S is not an integer" s
     | Some w when w < 1 -> err "width must be >= 1 (got %d)" w
-    | Some w -> Ok w
+    | Some w -> Ok (w, signed)
   in
   let arrival_of s =
     match float_of_string_opt s with
@@ -44,19 +48,21 @@ let parse_var_spec spec =
   let checked name w t p =
     if name = "" then err "empty variable name"
     else
-      let* w = width_of w in
+      let* w, signed = width_of w in
       let* t = match t with None -> Ok 0.0 | Some t -> arrival_of t in
       let* p = match p with None -> Ok 0.5 | Some p -> prob_of p in
-      Ok (name, w, t, p)
+      Ok (name, w, signed, t, p)
   in
   match String.split_on_char ':' spec with
   | [ name; w ] -> checked name w None None
   | [ name; w; t ] -> checked name w (Some t) None
   | [ name; w; t; p ] -> checked name w (Some t) (Some p)
-  | _ -> Error (`Msg (spec ^ ": expected name:width[:arrival[:prob]]"))
+  | _ -> Error (`Msg (spec ^ ": expected name:width[s][:arrival[:prob]]"))
 
 let var_conv =
-  let print ppf (name, w, t, p) = Fmt.pf ppf "%s:%d:%g:%g" name w t p in
+  let print ppf (name, w, signed, t, p) =
+    Fmt.pf ppf "%s:%d%s:%g:%g" name w (if signed then "s" else "") t p
+  in
   Arg.conv (parse_var_spec, print)
 
 let expr_conv =
@@ -92,10 +98,11 @@ let expr_arg =
 let vars_arg =
   Arg.(
     value & opt_all var_conv []
-    & info [ "v"; "var" ] ~docv:"NAME:W[:T[:P]]"
+    & info [ "v"; "var" ] ~docv:"NAME:W[s][:T[:P]]"
         ~doc:
-          "Input variable: name, bit-width, optional arrival time (ns) and \
-           1-probability, applied uniformly to all bits.")
+          "Input variable: name, bit-width (suffix 's' for signed), optional \
+           arrival time (ns) and 1-probability, applied uniformly to all \
+           bits.")
 
 let width_arg =
   Arg.(
@@ -203,8 +210,8 @@ let check_level_arg =
 let env_of_vars expr vars =
   let env =
     List.fold_left
-      (fun env (name, width, arrival, prob) ->
-        Dp_expr.Env.add_uniform name ~width ~arrival ~prob env)
+      (fun env (name, width, signed, arrival, prob) ->
+        Dp_expr.Env.add_uniform name ~width ~signed ~arrival ~prob env)
       Dp_expr.Env.empty vars
   in
   match Dp_expr.Env.check_covers_res expr env with
@@ -215,7 +222,7 @@ let fail_diag d =
   Fmt.epr "error: %a@." Dp_diag.Diag.pp d;
   exit 3
 
-let report_result (r : Dp_flow.Synth.result) ~check ~cells ~verilog ~dot
+let report_result (r : Dp_flow.Synth.result) ~env ~check ~cells ~verilog ~dot
     ?testbench ?pipeline expr =
   Fmt.pr "strategy:   %a@." Dp_flow.Strategy.pp r.strategy;
   Fmt.pr "output:     %s[%d:0]@." r.output (r.width - 1);
@@ -253,7 +260,8 @@ let report_result (r : Dp_flow.Synth.result) ~check ~cells ~verilog ~dot
     Fmt.pr "wrote %s@." file
   | None -> ());
   if check then
-    match Dp_flow.Synth.verify ~trials:500 r expr with
+    (* ~env so signed inputs are interpreted in two's complement *)
+    match Dp_flow.Synth.verify ~trials:500 ~env r expr with
     | Ok () -> Fmt.pr "equivalence check: OK (500 random vectors)@."
     | Error m ->
       Fmt.epr "equivalence check FAILED: %a@." Dp_sim.Equiv.pp_mismatch m;
@@ -277,7 +285,8 @@ let synth_cmd =
       with
       | Error d -> fail_diag d
       | Ok r ->
-        report_result r ~check ~cells ~verilog ~dot ?testbench ?pipeline expr)
+        report_result r ~env ~check ~cells ~verilog ~dot ?testbench ?pipeline
+          expr)
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize one expression")
     Term.(
@@ -386,8 +395,8 @@ let synth_multi_cmd =
   let action ports vars strategy adder verilog check =
     let env =
       List.fold_left
-        (fun env (name, width, arrival, prob) ->
-          Dp_expr.Env.add_uniform name ~width ~arrival ~prob env)
+        (fun env (name, width, signed, arrival, prob) ->
+          Dp_expr.Env.add_uniform name ~width ~signed ~arrival ~prob env)
         Dp_expr.Env.empty vars
     in
     let missing =
@@ -435,6 +444,136 @@ let synth_multi_cmd =
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
       $ adder_arg $ verilog_arg $ check_arg)
 
+let fuzz_cmd =
+  let ival ~default name doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+  in
+  let seed_arg = ival ~default:42 "seed" "PRNG seed; the run is a pure function of it." in
+  let cases_arg = ival ~default:500 "cases" "Number of generated cases." in
+  let max_size_arg =
+    ival ~default:Dp_fuzz.Gen.default_config.max_size "max-size"
+      "Maximum expression size (AST nodes) per generated case."
+  in
+  let trials_arg =
+    ival ~default:Dp_fuzz.Oracle.default_config.trials "trials"
+      "Random input vectors per case, on top of the corner patterns."
+  in
+  let strategy_opt =
+    Arg.(
+      value & opt (some strategy_conv) None
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Restrict the oracle to one strategy (default: all).")
+  in
+  let adder_opt =
+    Arg.(
+      value & opt (some adder_conv) None
+      & info [ "adder" ] ~docv:"A"
+          ~doc:"Restrict the oracle to one final adder (default: all).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float Dp_fuzz.Budget.default.timeout_s
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget per strategy/adder pair; 0 disables.")
+  in
+  let max_cells_arg =
+    ival ~default:Dp_fuzz.Budget.default.max_cells "max-cells"
+      "Cell-count budget per synthesized netlist; 0 disables."
+  in
+  let max_rows_arg =
+    ival ~default:Dp_fuzz.Budget.default.max_rows "max-rows"
+      "Estimated addend-matrix-height budget per case; 0 disables."
+  in
+  let inject_every_arg =
+    ival ~default:0 "inject-every"
+      "Every Nth case also runs a netlist fault-injection check (0: off)."
+  in
+  let multi_every_arg =
+    ival ~default:Dp_fuzz.Gen.default_config.multi_every "multi-every"
+      "Every Nth case is a multi-output program (0: never)."
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Save shrunk reproducers for every finding into DIR.")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Replay every *.repro file in DIR instead of generating cases; \
+             exits non-zero if any entry regresses.")
+  in
+  let action seed cases max_size trials strategy adder timeout max_cells
+      max_rows inject_every multi_every corpus replay =
+    match replay with
+    | Some dir -> (
+      match Dp_fuzz.Driver.replay_dir dir with
+      | Ok n -> Fmt.pr "replayed %d corpus entries: all OK@." n
+      | Error failures ->
+        List.iter
+          (fun (path, d) -> Fmt.epr "%s: %a@." path Dp_diag.Diag.pp d)
+          failures;
+        exit 2)
+    | None ->
+      let gen = { Dp_fuzz.Gen.default_config with max_size; multi_every } in
+      let budget = { Dp_fuzz.Budget.timeout_s = timeout; max_cells; max_rows } in
+      let oracle =
+        {
+          Dp_fuzz.Oracle.default_config with
+          trials;
+          budget;
+          strategies =
+            (match strategy with
+            | Some s -> [ s ]
+            | None -> Dp_flow.Strategy.all);
+          adders =
+            (match adder with Some a -> [ a ] | None -> Dp_adders.Adder.all);
+        }
+      in
+      let config =
+        {
+          Dp_fuzz.Driver.default_config with
+          seed;
+          cases;
+          gen;
+          oracle;
+          inject_every;
+          corpus_dir = corpus;
+          log = (fun msg -> Fmt.epr "%s@." msg);
+        }
+      in
+      let report = Dp_fuzz.Driver.run config in
+      Fmt.pr "%a@." Dp_fuzz.Driver.pp_report report;
+      List.iter
+        (fun (f : Dp_fuzz.Driver.finding) ->
+          Fmt.pr "@.finding %s under %a/%a:@." f.shrunk_diag.Dp_diag.Diag.code
+            Dp_flow.Strategy.pp f.failure.Dp_fuzz.Oracle.strategy
+            Dp_adders.Adder.pp f.failure.Dp_fuzz.Oracle.adder;
+          Fmt.pr "  %a@." Dp_diag.Diag.pp f.shrunk_diag;
+          Fmt.pr "  repro: %s@."
+            (Dp_fuzz.Case.synth_command
+               ~strategy:f.failure.Dp_fuzz.Oracle.strategy
+               ~adder:f.failure.Dp_fuzz.Oracle.adder f.shrunk);
+          match f.saved with
+          | Some path -> Fmt.pr "  saved: %s@." path
+          | None -> ())
+        report.findings;
+      if report.findings <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random cases through every strategy and \
+          adder, checked against an arbitrary-precision reference; failures \
+          are shrunk to minimal reproducers")
+    Term.(
+      const action $ seed_arg $ cases_arg $ max_size_arg $ trials_arg
+      $ strategy_opt $ adder_opt $ timeout_arg $ max_cells_arg $ max_rows_arg
+      $ inject_every_arg $ multi_every_arg $ corpus_arg $ replay_arg)
+
 let designs_cmd =
   let action () =
     List.iter
@@ -458,7 +597,7 @@ let design_cmd =
     | Some d ->
       let r = Dp_flow.Synth.run ~adder ~width:d.width strategy d.env d.expr in
       Fmt.pr "design: %s — %s@." d.name d.description;
-      report_result r ~check ~cells ~verilog ~dot d.expr
+      report_result r ~env:d.env ~check ~cells ~verilog ~dot d.expr
   in
   Cmd.v (Cmd.info "design" ~doc:"Synthesize one of the paper's designs")
     Term.(
@@ -473,6 +612,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            synth_cmd; synth_multi_cmd; compare_cmd; lint_cmd; designs_cmd;
-            design_cmd;
+            synth_cmd; synth_multi_cmd; compare_cmd; lint_cmd; fuzz_cmd;
+            designs_cmd; design_cmd;
           ]))

@@ -47,6 +47,13 @@ let of_name s =
   | "fa_alp" | "alp" | "power" -> Some Fa_alp
   | "fa_alp+t" | "combined-power" -> Some Fa_alp_combined
   | "fa_random" | "random" -> Some (Fa_random 1)
+  | s
+    when String.length s > 10
+         && String.sub s 0 10 = "fa_random["
+         && s.[String.length s - 1] = ']' -> (
+    match int_of_string_opt (String.sub s 10 (String.length s - 11)) with
+    | Some seed -> Some (Fa_random seed)
+    | None -> None)
   | "wallace" -> Some Wallace
   | "dadda" -> Some Dadda
   | "col-iso" | "column-isolation" -> Some Column_isolation

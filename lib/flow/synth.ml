@@ -121,6 +121,18 @@ let run ?tech ?adder ?lower_config ?width
   Dp_diag.Diag.get_ok (check_netlist ~check_level r.netlist [ (r.output, r.width) ]);
   r
 
+(* No exception may escape the [_res] entry points: anything the typed
+   paths don't already cover (a [Failure] from a library call, a stack
+   overflow on a pathological expression, ...) is converted to the
+   [DP-INTERNAL] catch-all so fuzzing and the CLI always see a [Diag.t].
+   [Sys.Break] (ctrl-C) is deliberately re-raised. *)
+let internal_diag strategy exn =
+  Dp_diag.Diag.error
+    (Dp_diag.Diag.errorf ~code:"DP-INTERNAL" ~subsystem:"synth"
+       ~context:[ ("strategy", Strategy.name strategy) ]
+       "unexpected exception escaped the synthesis flow: %s"
+       (Printexc.to_string exn))
+
 let run_res ?tech ?adder ?lower_config ?width ?check_level strategy env expr =
   match Env.check_covers_res expr env with
   | Error _ as e -> e
@@ -132,7 +144,9 @@ let run_res ?tech ?adder ?lower_config ?width ?check_level strategy env expr =
       Dp_diag.Diag.error
         (Dp_diag.Diag.v ~code:"DP-SYNTH001" ~subsystem:"synth"
            ~context:[ ("strategy", Strategy.name strategy) ]
-           msg))
+           msg)
+    | exception (Sys.Break as e) -> raise e
+    | exception e -> internal_diag strategy e)
 
 type port = { name : string; expr : Ast.t; width : int }
 
@@ -196,14 +210,27 @@ let run_multi ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
   }
 
 let run_multi_res ?tech ?adder ?lower_config ?check_level strategy env ports =
-  match run_multi ?tech ?adder ?lower_config ?check_level strategy env ports with
-  | r -> Ok r
-  | exception Dp_diag.Diag.E d -> Error d
-  | exception Invalid_argument msg ->
-    Dp_diag.Diag.error
-      (Dp_diag.Diag.v ~code:"DP-SYNTH001" ~subsystem:"synth"
-         ~context:[ ("strategy", Strategy.name strategy) ]
-         msg)
+  let covers =
+    List.fold_left
+      (fun acc (p : port) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> Env.check_covers_res p.expr env)
+      (Ok ()) ports
+  in
+  match covers with
+  | Error _ as e -> e
+  | Ok () -> (
+    match run_multi ?tech ?adder ?lower_config ?check_level strategy env ports with
+    | r -> Ok r
+    | exception Dp_diag.Diag.E d -> Error d
+    | exception Invalid_argument msg ->
+      Dp_diag.Diag.error
+        (Dp_diag.Diag.v ~code:"DP-SYNTH001" ~subsystem:"synth"
+           ~context:[ ("strategy", Strategy.name strategy) ]
+           msg)
+    | exception (Sys.Break as e) -> raise e
+    | exception e -> internal_diag strategy e)
 
 (* Try every final-adder architecture and keep the fastest netlist — the
    flow-level analogue of letting downstream logic synthesis restructure

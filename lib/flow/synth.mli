@@ -35,10 +35,12 @@ val run :
   ?check_level:Dp_verify.Lint.check_level ->
   Strategy.t -> Env.t -> Ast.t -> result
 
-(** Like {!run}, but every user-facing failure — unbound variables
-    ([DP-ENV003]), bad widths surfacing from the lowering
-    ([DP-SYNTH001]), strict-mode lint findings ([DP-SYNTH002/3]) — comes
-    back as a typed diagnostic instead of an exception. *)
+(** Like {!run}, but every failure — unbound variables ([DP-ENV003]),
+    bad widths surfacing from the lowering ([DP-SYNTH001]), strict-mode
+    lint findings ([DP-SYNTH002/3]), and any other exception escaping
+    the flow, converted to the [DP-INTERNAL] catch-all — comes back as a
+    typed diagnostic instead of an exception.  Only [Sys.Break] is
+    re-raised. *)
 val run_res :
   ?tech:Dp_tech.Tech.t -> ?adder:Dp_adders.Adder.kind ->
   ?lower_config:Dp_bitmatrix.Lower.config -> ?width:int ->
@@ -68,7 +70,8 @@ val run_multi :
   Strategy.t -> Env.t -> port list -> multi_result
 
 (** Exception-free {!run_multi}; failures are typed diagnostics as in
-    {!run_res}. *)
+    {!run_res}, including the [DP-INTERNAL] catch-all and a [DP-ENV003]
+    coverage pre-check over every port. *)
 val run_multi_res :
   ?tech:Dp_tech.Tech.t -> ?adder:Dp_adders.Adder.kind ->
   ?lower_config:Dp_bitmatrix.Lower.config ->

@@ -1,0 +1,218 @@
+(* Sign-magnitude bignum over base-2^16 limbs, little-endian, normalized
+   (no trailing zero limbs; zero is the empty magnitude with sign 0).
+   Limb products fit comfortably in a native int, so schoolbook
+   arithmetic needs no carries wider than an int. *)
+
+let base_bits = 16
+let base = 1 lsl base_bits
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    (* Int64 absolute value: total even on min_int. *)
+    let m = Int64.abs (Int64.of_int n) in
+    let limbs = ref [] in
+    let m = ref m in
+    while Int64.compare !m 0L > 0 do
+      limbs := Int64.to_int (Int64.logand !m 0xFFFFL) :: !limbs;
+      m := Int64.shift_right_logical !m base_bits
+    done;
+    { sign = (if n < 0 then -1 else 1); mag = Array.of_list (List.rev !limbs) }
+  end
+
+let one = of_int 1
+let sign t = t.sign
+
+(* Magnitude comparison: -1, 0, 1. *)
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = 1 + max la lb in
+  let out = Array.make l 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    out.(i) <- s land (base - 1);
+    carry := s lsr base_bits
+  done;
+  out
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  out
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else
+    match compare_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else begin
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let p = out.(i + j) + (a.mag.(i) * b.mag.(j)) + !carry in
+        out.(i + j) <- p land (base - 1);
+        carry := p lsr base_bits
+      done;
+      out.(i + lb) <- out.(i + lb) + !carry
+    done;
+    normalize (a.sign * b.sign) out
+  end
+
+let pow a n =
+  if n < 0 then invalid_arg "Bigval.pow: negative exponent";
+  let rec go acc n = if n = 0 then acc else go (mul acc a) (n - 1) in
+  go one n
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let to_int_opt t =
+  (* Up to 62 bits of magnitude fit; count the top limb's actual bits
+     rather than rounding up to a whole limb. *)
+  let bit_length =
+    match Array.length t.mag with
+    | 0 -> 0
+    | len ->
+      let rec bits n v = if v = 0 then n else bits (n + 1) (v lsr 1) in
+      ((len - 1) * base_bits) + bits 0 t.mag.(len - 1)
+  in
+  if bit_length > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor t.mag.(i)
+    done;
+    Some (t.sign * !v)
+  end
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    (* Repeated division of the limb array by 10^4. *)
+    let digits = Buffer.create 16 in
+    let mag = Array.copy t.mag in
+    let len = ref (Array.length mag) in
+    while !len > 0 do
+      let rem = ref 0 in
+      for i = !len - 1 downto 0 do
+        let cur = (!rem lsl base_bits) lor mag.(i) in
+        mag.(i) <- cur / 10000;
+        rem := cur mod 10000
+      done;
+      while !len > 0 && mag.(!len - 1) = 0 do decr len done;
+      if !len > 0 then Buffer.add_string digits (Printf.sprintf "%04d" !rem)
+      else Buffer.add_string digits (string_of_int !rem)
+    done;
+    let s = Buffer.contents digits in
+    let out = Buffer.create (String.length s + 1) in
+    if t.sign < 0 then Buffer.add_char out '-';
+    (* The digit groups were appended least-significant first, each
+       group already most-significant-digit first. *)
+    let groups = ref [] in
+    let i = ref 0 in
+    while !i < String.length s do
+      let l = min 4 (String.length s - !i) in
+      groups := String.sub s !i l :: !groups;
+      i := !i + l
+    done;
+    List.iter (Buffer.add_string out) !groups;
+    Buffer.contents out
+  end
+
+let mag_bit mag i =
+  let limb = i / base_bits in
+  if limb >= Array.length mag then false
+  else (mag.(limb) lsr (i mod base_bits)) land 1 = 1
+
+let to_bits ~width t =
+  if width < 1 then invalid_arg "Bigval.to_bits: width must be >= 1";
+  let bits = Array.init width (mag_bit t.mag) in
+  if t.sign >= 0 then bits
+  else if Array.for_all (fun b -> not b) bits then bits (* -0 mod 2^w *)
+  else begin
+    (* 2^w - m: invert and add one. *)
+    let out = Array.map not bits in
+    let i = ref 0 in
+    let carry = ref true in
+    while !carry && !i < width do
+      if out.(!i) then out.(!i) <- false
+      else begin
+        out.(!i) <- true;
+        carry := false
+      end;
+      incr i
+    done;
+    out
+  end
+
+let to_int_mod ~width t =
+  if width > 62 then invalid_arg "Bigval.to_int_mod: width out of [1,62]";
+  let bits = to_bits ~width t in
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    v := (!v lsl 1) lor (if bits.(i) then 1 else 0)
+  done;
+  !v
+
+let rec eval assign = function
+  | Dp_expr.Ast.Var x -> assign x
+  | Dp_expr.Ast.Const c -> of_int c
+  | Dp_expr.Ast.Add (a, b) -> add (eval assign a) (eval assign b)
+  | Dp_expr.Ast.Sub (a, b) -> sub (eval assign a) (eval assign b)
+  | Dp_expr.Ast.Mul (a, b) -> mul (eval assign a) (eval assign b)
+  | Dp_expr.Ast.Neg a -> neg (eval assign a)
+  | Dp_expr.Ast.Pow (a, n) -> pow (eval assign a) n

@@ -1,0 +1,45 @@
+(** Arbitrary-precision integers — the fuzzer's {e independent} reference
+    semantics.
+
+    [Dp_expr.Eval] is itself part of the system under test: equivalence
+    checking ([Dp_sim.Equiv]) compares netlists against it, so a shared
+    bug in the native-int evaluator and the lowering would cancel out.
+    The oracle therefore re-evaluates every fuzzed expression with this
+    self-contained bignum (no external dependency; sign-magnitude,
+    base-2^16 limbs) and cross-checks {e both} the netlist and
+    [Eval.eval_mod] against it. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+(** @raise Invalid_argument on a negative exponent. *)
+val pow : t -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+
+(** [Some v] iff the value fits a native [int] exactly. *)
+val to_int_opt : t -> int option
+
+(** Decimal rendering. *)
+val to_string : t -> string
+
+(** Two's-complement bit pattern of the value modulo [2^width], LSB
+    first — the semantics a [width]-bit datapath realizes.
+    @raise Invalid_argument on a non-positive width. *)
+val to_bits : width:int -> t -> bool array
+
+(** The pattern of {!to_bits} packed into a native int.
+    @raise Invalid_argument if [width] exceeds 62. *)
+val to_int_mod : width:int -> t -> int
+
+(** Evaluate an expression under a bignum assignment. *)
+val eval : (string -> t) -> Dp_expr.Ast.t -> t

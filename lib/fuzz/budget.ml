@@ -1,0 +1,117 @@
+type t = { timeout_s : float; max_cells : int; max_rows : int }
+
+let default = { timeout_s = 5.0; max_cells = 200_000; max_rows = 4096 }
+let unlimited = { timeout_s = 0.0; max_cells = 0; max_rows = 0 }
+
+(* Saturating arithmetic: row estimates only need to be compared against
+   a ceiling, so everything clamps at [cap]. *)
+let cap = 1 lsl 40
+let sat x = if x > cap then cap else x
+let sat_add a b = sat (a + b)
+let sat_mul a b = if a = 0 || b = 0 then 0 else if a > cap / b then cap else a * b
+
+let bits_of_const c =
+  let rec go n v = if v = 0 then max 1 n else go (n + 1) (v lsr 1) in
+  go 0 (abs c)
+
+(* Per subtree: (estimated addend rows, estimated value width in bits).
+   A product of matrices of r_a x w_a and r_b x w_b addends yields about
+   r_a * r_b * min(w_a, w_b) partial-product rows. *)
+let rec rows_width widths = function
+  | Dp_expr.Ast.Var x ->
+    (1, match List.assoc_opt x widths with Some w -> w | None -> 1)
+  | Dp_expr.Ast.Const c -> (1, bits_of_const c)
+  | Dp_expr.Ast.Add (a, b) | Dp_expr.Ast.Sub (a, b) ->
+    let ra, wa = rows_width widths a and rb, wb = rows_width widths b in
+    (sat_add ra rb, sat (1 + max wa wb))
+  | Dp_expr.Ast.Neg a ->
+    let r, w = rows_width widths a in
+    (r, sat (w + 1))
+  | Dp_expr.Ast.Mul (a, b) ->
+    let ra, wa = rows_width widths a and rb, wb = rows_width widths b in
+    (sat_mul (sat_mul ra rb) (min wa wb), sat_add wa wb)
+  | Dp_expr.Ast.Pow (a, n) ->
+    let r, w = rows_width widths a in
+    if n = 0 then (1, 1)
+    else
+      let rec go acc_r acc_w k =
+        if k = 0 then (acc_r, acc_w)
+        else go (sat_mul (sat_mul acc_r r) (min acc_w w)) (sat_add acc_w w) (k - 1)
+      in
+      go r w (n - 1)
+
+let estimate_rows (case : Case.t) =
+  let widths =
+    List.map (fun (v : Case.var_spec) -> (v.name, v.width)) case.vars
+  in
+  List.fold_left
+    (fun acc (_, e, _) -> max acc (fst (rows_width widths e)))
+    0 case.ports
+
+let check_static b case =
+  if b.max_rows <= 0 then Ok ()
+  else
+    let rows = estimate_rows case in
+    if rows <= b.max_rows then Ok ()
+    else
+      Error
+        (Dp_diag.Diag.errorf ~code:"DP-BUDGET003" ~subsystem:"budget"
+           ~context:
+             [ ("estimated_rows", string_of_int rows);
+               ("max_rows", string_of_int b.max_rows) ]
+           "estimated addend matrix height %d exceeds the budget of %d rows"
+           rows b.max_rows)
+
+let check_cells b netlist =
+  if b.max_cells <= 0 then Ok ()
+  else
+    let cells = Dp_netlist.Netlist.cell_count netlist in
+    if cells <= b.max_cells then Ok ()
+    else
+      Error
+        (Dp_diag.Diag.errorf ~code:"DP-BUDGET002" ~subsystem:"budget"
+           ~context:
+             [ ("cells", string_of_int cells);
+               ("max_cells", string_of_int b.max_cells) ]
+           "netlist has %d cells, over the budget of %d" cells b.max_cells)
+
+exception Timed_out
+
+let with_timeout b f =
+  if b.timeout_s <= 0.0 then f ()
+  else begin
+    let timed_out = ref false in
+    let old_handler =
+      Sys.signal Sys.sigalrm
+        (Sys.Signal_handle
+           (fun _ ->
+             timed_out := true;
+             raise Timed_out))
+    in
+    let old_timer =
+      Unix.setitimer Unix.ITIMER_REAL
+        { Unix.it_value = b.timeout_s; it_interval = 0.0 }
+    in
+    let restore () =
+      ignore (Unix.setitimer Unix.ITIMER_REAL old_timer);
+      Sys.set_signal Sys.sigalrm old_handler
+    in
+    let budget_exceeded () =
+      Dp_diag.Diag.fail
+        (Dp_diag.Diag.errorf ~code:"DP-BUDGET001" ~subsystem:"budget"
+           ~context:[ ("timeout_s", Fmt.str "%g" b.timeout_s) ]
+           "synthesis exceeded the %gs wall-clock budget" b.timeout_s)
+    in
+    match f () with
+    | v ->
+      restore ();
+      (* The alarm may have fired inside an exception-swallowing wrapper
+         (e.g. [Synth.run_res]'s catch-all); the flag still records it. *)
+      if !timed_out then budget_exceeded () else v
+    | exception Timed_out ->
+      restore ();
+      budget_exceeded ()
+    | exception e ->
+      restore ();
+      if !timed_out then budget_exceeded () else raise e
+  end

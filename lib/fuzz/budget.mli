@@ -1,0 +1,38 @@
+(** Resource-bounded synthesis: wall-clock, matrix-height and gate-count
+    ceilings so pathological fuzz inputs fail {e gracefully} with a typed
+    [Dp_diag.Diag.t] instead of hanging the process or exhausting memory.
+
+    Diagnostics: [DP-BUDGET001] wall-clock timeout, [DP-BUDGET002]
+    gate-count ceiling, [DP-BUDGET003] static addend-row (matrix-height)
+    ceiling. *)
+
+type t = {
+  timeout_s : float;  (** wall-clock budget per synthesis; <= 0 disables *)
+  max_cells : int;  (** netlist cell ceiling; <= 0 disables *)
+  max_rows : int;  (** estimated addend-row ceiling; <= 0 disables *)
+}
+
+(** 5 s, 200k cells, 4096 rows. *)
+val default : t
+
+val unlimited : t
+
+(** Saturating static estimate of the addend rows the bit-level lowering
+    would build for the widest port — products multiply row counts by
+    the narrower operand's width, additions sum them.  An upper-bound
+    heuristic: cheap (no normalization, which itself can blow up) and
+    monotone, so genuinely huge multiply chains trip the ceiling before
+    any work happens. *)
+val estimate_rows : Case.t -> int
+
+(** [DP-BUDGET003] if {!estimate_rows} exceeds [max_rows]. *)
+val check_static : t -> Case.t -> (unit, Dp_diag.Diag.t) result
+
+(** [DP-BUDGET002] if the built netlist exceeds [max_cells]. *)
+val check_cells : t -> Dp_netlist.Netlist.t -> (unit, Dp_diag.Diag.t) result
+
+(** [with_timeout b f] runs [f] under an interval timer and raises
+    [Dp_diag.Diag.E] with [DP-BUDGET001] if it exceeds [timeout_s].
+    Exception-safe: the timer and previous [SIGALRM] handler are always
+    restored.  Not reentrant (one timer per process). *)
+val with_timeout : t -> (unit -> 'a) -> 'a

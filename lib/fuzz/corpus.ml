@@ -1,0 +1,173 @@
+type entry = {
+  case : Case.t;
+  strategy : Dp_flow.Strategy.t option;
+  adder : Dp_adders.Adder.kind option;
+  inject : (Dp_verify.Inject.mutation * int) option;
+  diag_code : string option;
+  comment : string option;
+}
+
+let entry ?strategy ?adder ?inject ?diag_code ?comment case =
+  { case; strategy; adder; inject; diag_code; comment }
+
+let mutation_of_name s =
+  List.find_opt
+    (fun m -> Dp_verify.Inject.name m = s)
+    Dp_verify.Inject.all
+
+let to_string e =
+  let buf = Buffer.create 256 in
+  let add fmt = Fmt.kstr (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  (match e.comment with Some c -> add "# %s" c | None -> ());
+  (match e.diag_code with Some c -> add "diag %s" c | None -> ());
+  List.iter (fun v -> add "var %s" (Case.var_spec_to_string v)) e.case.Case.vars;
+  List.iter
+    (fun (name, expr, w) ->
+      add "port %s %d = %s" name w (Dp_expr.Ast.to_string expr))
+    e.case.Case.ports;
+  (match e.strategy with
+  | Some s -> add "strategy %s" (String.lowercase_ascii (Dp_flow.Strategy.name s))
+  | None -> ());
+  (match e.adder with Some a -> add "adder %s" (Dp_adders.Adder.name a) | None -> ());
+  (match e.inject with
+  | Some (m, seed) -> add "inject %s %d" (Dp_verify.Inject.name m) seed
+  | None -> ());
+  Buffer.contents buf
+
+let parse_error fmt =
+  Fmt.kstr
+    (fun m ->
+      Error (Dp_diag.Diag.v ~code:"DP-CORPUS001" ~subsystem:"corpus" m))
+    fmt
+
+let of_string text =
+  let ( let* ) r k = match r with Ok v -> k v | Error _ as e -> e in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok acc
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" then go (lineno + 1) acc rest
+      else if line.[0] = '#' then begin
+        let c = String.trim (String.sub line 1 (String.length line - 1)) in
+        let acc =
+          if acc.comment = None && c <> "" then { acc with comment = Some c }
+          else acc
+        in
+        go (lineno + 1) acc rest
+      end
+      else
+        let key, rest_of_line =
+          match String.index_opt line ' ' with
+          | None -> (line, "")
+          | Some i ->
+            ( String.sub line 0 i,
+              String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+        in
+        let* acc =
+          match key with
+          | "var" -> (
+            match Case.var_spec_of_string rest_of_line with
+            | Ok v -> Ok { acc with case = { acc.case with vars = acc.case.vars @ [ v ] } }
+            | Error m -> parse_error "line %d: %s" lineno m)
+          | "port" -> (
+            match String.split_on_char ' ' rest_of_line with
+            | name :: w :: "=" :: expr_toks -> (
+              match int_of_string_opt w with
+              | None -> parse_error "line %d: port width %S is not an integer" lineno w
+              | Some w when w < 1 || w > 62 ->
+                parse_error "line %d: port width %d outside [1, 62]" lineno w
+              | Some w -> (
+                match Dp_expr.Parse.expr_res (String.concat " " expr_toks) with
+                | Ok e ->
+                  Ok
+                    { acc with
+                      case = { acc.case with ports = acc.case.ports @ [ (name, e, w) ] } }
+                | Error d ->
+                  parse_error "line %d: %s" lineno (Dp_diag.Diag.to_string d)))
+            | _ -> parse_error "line %d: expected 'port NAME WIDTH = EXPR'" lineno)
+          | "strategy" -> (
+            match Dp_flow.Strategy.of_name rest_of_line with
+            | Some s -> Ok { acc with strategy = Some s }
+            | None -> parse_error "line %d: unknown strategy %S" lineno rest_of_line)
+          | "adder" -> (
+            match Dp_adders.Adder.of_name rest_of_line with
+            | Some a -> Ok { acc with adder = Some a }
+            | None -> parse_error "line %d: unknown adder %S" lineno rest_of_line)
+          | "inject" -> (
+            match String.split_on_char ' ' rest_of_line with
+            | [ m; seed ] -> (
+              match (mutation_of_name m, int_of_string_opt seed) with
+              | Some m, Some seed -> Ok { acc with inject = Some (m, seed) }
+              | None, _ -> parse_error "line %d: unknown mutation %S" lineno m
+              | _, None -> parse_error "line %d: bad inject seed %S" lineno seed)
+            | _ -> parse_error "line %d: expected 'inject MUTATION SEED'" lineno)
+          | "diag" -> Ok { acc with diag_code = Some rest_of_line }
+          | _ -> parse_error "line %d: unknown key %S" lineno key
+        in
+        go (lineno + 1) acc rest
+  in
+  let empty =
+    {
+      case = { Case.vars = []; ports = [] };
+      strategy = None;
+      adder = None;
+      inject = None;
+      diag_code = None;
+      comment = None;
+    }
+  in
+  let* e = go 1 empty lines in
+  match e.case.Case.ports with
+  | [] -> parse_error "no port line"
+  | _ ->
+    let bound = List.map (fun (v : Case.var_spec) -> v.name) e.case.Case.vars in
+    let unbound =
+      List.filter (fun v -> not (List.mem v bound)) (Case.used_vars e.case)
+    in
+    (match unbound with
+    | [] -> Ok e
+    | v :: _ -> parse_error "variable %s has no var line" v)
+
+let io_error path exn =
+  Error
+    (Dp_diag.Diag.errorf ~code:"DP-CORPUS002" ~subsystem:"corpus"
+       ~context:[ ("path", path) ]
+       "%s" (Printexc.to_string exn))
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception exn -> io_error path exn
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception exn -> io_error dir exn
+  | files ->
+    let files =
+      List.sort String.compare
+        (List.filter
+           (fun f -> Filename.check_suffix f ".repro")
+           (Array.to_list files))
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest -> (
+        let path = Filename.concat dir f in
+        match load_file path with
+        | Ok e -> go ((path, e) :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] files
+
+let save ~dir e =
+  let text = to_string e in
+  let tag =
+    String.lowercase_ascii (Option.value e.diag_code ~default:"case")
+  in
+  let tag =
+    String.map (fun c -> if c = '-' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '-') tag
+  in
+  let path = Filename.concat dir (Fmt.str "%s-%08x.repro" tag (Hashtbl.hash text)) in
+  Out_channel.with_open_text path (fun oc -> output_string oc text);
+  path

@@ -1,0 +1,51 @@
+(** Deterministic on-disk crash corpus.
+
+    Each entry is one shrunken reproducer in a line-oriented text format
+    ([#] comments, [key value] lines):
+
+    {v
+    # found by: dpsyn fuzz --seed 42 ...
+    diag DP-FUZZ001
+    var v0:1:0:0.5
+    var v1:8s:2.5:1
+    port out 9 = v0*v1 + 3
+    strategy fa_aot
+    adder cla
+    inject rewire_input 7
+    v}
+
+    [var] uses the CLI's [-v] syntax; [port] is [name width = expr];
+    [strategy]/[adder] pin the failing pair (omitted = the whole
+    matrix); [diag] records the code the case exposed when captured;
+    [inject] marks a fault-injection reproducer (replay applies the
+    mutation and asserts it is {e detected}, regression-testing the
+    checkers' teeth rather than the flow).
+
+    Files under [test/corpus/] are replayed by [dune runtest]; parse
+    failures carry [DP-CORPUS001], I/O failures [DP-CORPUS002]. *)
+
+type entry = {
+  case : Case.t;
+  strategy : Dp_flow.Strategy.t option;
+  adder : Dp_adders.Adder.kind option;
+  inject : (Dp_verify.Inject.mutation * int) option;  (** mutation, seed *)
+  diag_code : string option;  (** historical: what this exposed *)
+  comment : string option;  (** first [#] line, e.g. the finding command *)
+}
+
+val entry :
+  ?strategy:Dp_flow.Strategy.t -> ?adder:Dp_adders.Adder.kind ->
+  ?inject:Dp_verify.Inject.mutation * int -> ?diag_code:string ->
+  ?comment:string -> Case.t -> entry
+
+val to_string : entry -> string
+val of_string : string -> (entry, Dp_diag.Diag.t) result
+
+val load_file : string -> (entry, Dp_diag.Diag.t) result
+
+(** Every [*.repro] file in the directory, sorted by filename. *)
+val load_dir : string -> ((string * entry) list, Dp_diag.Diag.t) result
+
+(** Write the entry under [dir] with a deterministic content-derived
+    filename ([<code>-<hash>.repro]); returns the path. *)
+val save : dir:string -> entry -> string

@@ -1,0 +1,276 @@
+type config = {
+  seed : int;
+  cases : int;
+  gen : Gen.config;
+  oracle : Oracle.config;
+  inject_every : int;
+  tech_every : int;
+  corpus_dir : string option;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    seed = 42;
+    cases = 500;
+    gen = Gen.default_config;
+    oracle = Oracle.default_config;
+    inject_every = 0;
+    tech_every = 11;
+    corpus_dir = None;
+    log = ignore;
+  }
+
+type finding = {
+  case : Case.t;
+  failure : Oracle.failure;
+  shrunk : Case.t;
+  shrunk_diag : Dp_diag.Diag.t;
+  saved : string option;
+}
+
+type report = {
+  executed : int;
+  passed : int;
+  bounded : int;
+  injected : int;
+  injected_caught : int;
+  findings : finding list;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "%d cases: %d passed, %d budget-bounded, %d findings; %d faults injected, \
+     %d caught"
+    r.executed r.passed r.bounded
+    (List.length r.findings)
+    r.injected r.injected_caught
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+let first_pair (oracle : Oracle.config) =
+  ( (match oracle.strategies with s :: _ -> s | [] -> Dp_flow.Strategy.Fa_aot),
+    match oracle.adders with a :: _ -> a | [] -> Dp_adders.Adder.Cla )
+
+let fault_detected ?(oracle = Oracle.default_config) ~mutation ~mseed case =
+  let strategy, adder = first_pair oracle in
+  match Case.single_port case with
+  | None -> `No_site
+  | Some (expr, width) -> (
+    match
+      Dp_flow.Synth.run_res ?tech:oracle.tech ~adder ~width strategy
+        (Case.env case) expr
+    with
+    | Error d -> `Not_synthesizable d
+    | Ok r -> (
+      match Dp_verify.Inject.apply ~seed:mseed r.netlist mutation with
+      | None -> `No_site
+      | Some descr ->
+        if Dp_verify.Lint.errors (Dp_verify.Lint.run r.netlist) <> [] then
+          `Caught_by_lint descr
+        else (
+          (* Prefer the exhaustive input space when it is small enough:
+             then "no divergence" proves the mutation landed on a
+             redundant site (a neutral rewiring, not an escaped fault). *)
+          match Oracle.all_assignments case with
+          | Some alists ->
+            if Oracle.diverges_on case ~port:"out" ~width r.netlist alists
+            then `Caught_by_divergence descr
+            else `Neutral descr
+          | None ->
+            if
+              Oracle.diverges ~seed:oracle.seed
+                ~trials:(max 48 oracle.trials) case ~port:"out" ~width
+                r.netlist
+            then `Caught_by_divergence descr
+            else
+              `Escaped
+                (Dp_diag.Diag.errorf ~code:"DP-FUZZ005" ~subsystem:"fuzz"
+                   ~context:
+                     [
+                       ("mutation", Dp_verify.Inject.name mutation);
+                       ("mutation_seed", string_of_int mseed);
+                       ("strategy", Dp_flow.Strategy.name strategy);
+                       ("adder", Dp_adders.Adder.name adder);
+                       ("repro", Case.synth_command ~strategy ~adder case);
+                     ]
+                   "injected fault escaped both lint and differential \
+                    checking: %s"
+                   descr))))
+
+let detection_diag ~mutation ~mseed how =
+  Dp_diag.Diag.errorf ~severity:Dp_diag.Diag.Info ~code:"DP-FUZZ006"
+    ~subsystem:"fuzz"
+    ~context:
+      [
+        ("mutation", Dp_verify.Inject.name mutation);
+        ("mutation_seed", string_of_int mseed);
+      ]
+    "injected fault detected by %s" how
+
+let shrink_detected_fault ?(oracle = Oracle.default_config) ~mutation ~mseed case =
+  let test c =
+    match fault_detected ~oracle ~mutation ~mseed c with
+    | `Caught_by_lint d -> Some (detection_diag ~mutation ~mseed ("lint: " ^ d))
+    | `Caught_by_divergence d ->
+      Some (detection_diag ~mutation ~mseed ("divergence: " ^ d))
+    | `No_site | `Not_synthesizable _ | `Neutral _ | `Escaped _ -> None
+  in
+  match test case with
+  | None ->
+    Dp_diag.Diag.error
+      (Dp_diag.Diag.errorf ~code:"DP-FUZZ005" ~subsystem:"fuzz"
+         ~context:[ ("mutation", Dp_verify.Inject.name mutation) ]
+         "fault is not detected on the initial case; nothing to shrink")
+  | Some _ ->
+    let shrunk, diag = Shrink.minimize ~test case in
+    let strategy, adder = first_pair oracle in
+    Ok
+      (Corpus.entry ~strategy ~adder ~inject:(mutation, mseed)
+         ~diag_code:diag.Dp_diag.Diag.code
+         ~comment:
+           (Fmt.str "fault-injection regression: %s must stay detected"
+              (Dp_verify.Inject.name mutation))
+         (Case.drop_unused_vars shrunk))
+
+(* ------------------------------------------------------------------ *)
+(* The loop *)
+
+let run config =
+  let rng = Random.State.make [| config.seed |] in
+  let report =
+    ref
+      {
+        executed = 0;
+        passed = 0;
+        bounded = 0;
+        injected = 0;
+        injected_caught = 0;
+        findings = [];
+      }
+  in
+  for i = 0 to config.cases - 1 do
+    let case = Gen.case ~config:config.gen rng i in
+    let tech =
+      if config.tech_every > 0 && i mod config.tech_every = config.tech_every - 1
+      then Some (Gen.tech rng)
+      else None
+    in
+    let oracle = { config.oracle with tech } in
+    (* Deterministic per-case draws, consumed whether or not used. *)
+    let mutation = List.nth Dp_verify.Inject.all
+        (Random.State.int rng (List.length Dp_verify.Inject.all))
+    in
+    let mseed = Random.State.int rng 1000 in
+    let inject =
+      config.inject_every > 0
+      && (!report).executed mod config.inject_every = config.inject_every - 1
+      && Case.single_port case <> None
+    in
+    (if inject then begin
+       report := { !report with injected = (!report).injected + 1 };
+       match fault_detected ~oracle ~mutation ~mseed case with
+       | `Caught_by_lint _ | `Caught_by_divergence _ ->
+         report := { !report with injected_caught = (!report).injected_caught + 1 }
+       | `No_site | `Not_synthesizable _ | `Neutral _ ->
+         (* vacuous: no applicable site, or a mutation proven equivalent
+            over the whole input space — nothing to catch *)
+         ()
+       | `Escaped diag ->
+         let strategy, adder = first_pair oracle in
+         let failure = { Oracle.strategy; adder; diag } in
+         let test c =
+           match fault_detected ~oracle ~mutation ~mseed c with
+           | `Escaped d -> Some d
+           | _ -> None
+         in
+         let shrunk, shrunk_diag = Shrink.minimize ~test case in
+         let saved =
+           Option.map
+             (fun dir ->
+               Corpus.save ~dir
+                 (Corpus.entry ~strategy ~adder ~inject:(mutation, mseed)
+                    ~diag_code:"DP-FUZZ005"
+                    ~comment:(Case.synth_command ~strategy ~adder shrunk)
+                    shrunk))
+             config.corpus_dir
+         in
+         report :=
+           { !report with
+             findings = { case; failure; shrunk; shrunk_diag; saved } :: (!report).findings
+           }
+     end);
+    (match Oracle.check ~config:oracle case with
+    | Pass -> report := { !report with passed = (!report).passed + 1 }
+    | Bounded _ -> report := { !report with bounded = (!report).bounded + 1 }
+    | Fail failure ->
+      config.log
+        (Fmt.str "case %d FAILS: %a" i Dp_diag.Diag.pp failure.Oracle.diag);
+      let shrunk, shrunk_diag =
+        Shrink.minimize ~test:(Oracle.test ~config:oracle) case
+      in
+      let saved =
+        Option.map
+          (fun dir ->
+            Corpus.save ~dir
+              (Corpus.entry ~strategy:failure.Oracle.strategy
+                 ~adder:failure.Oracle.adder
+                 ~diag_code:shrunk_diag.Dp_diag.Diag.code
+                 ~comment:
+                   (Case.synth_command ~strategy:failure.Oracle.strategy
+                      ~adder:failure.Oracle.adder shrunk)
+                 shrunk))
+          config.corpus_dir
+      in
+      report :=
+        { !report with
+          findings = { case; failure; shrunk; shrunk_diag; saved } :: (!report).findings
+        });
+    report := { !report with executed = (!report).executed + 1 };
+    if (i + 1) mod 50 = 0 then
+      config.log (Fmt.str "%d/%d cases, %a" (i + 1) config.cases pp_report !report)
+  done;
+  { !report with findings = List.rev (!report).findings }
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+let replay ?(oracle = Oracle.default_config) (e : Corpus.entry) =
+  let oracle =
+    {
+      oracle with
+      strategies =
+        (match e.strategy with Some s -> [ s ] | None -> oracle.strategies);
+      adders = (match e.adder with Some a -> [ a ] | None -> oracle.adders);
+    }
+  in
+  match e.inject with
+  | Some (mutation, mseed) -> (
+    match fault_detected ~oracle ~mutation ~mseed e.case with
+    | `Caught_by_lint _ | `Caught_by_divergence _ -> Ok ()
+    | `No_site | `Neutral _ ->
+      Dp_diag.Diag.error
+        (Dp_diag.Diag.errorf ~code:"DP-FUZZ005" ~subsystem:"fuzz"
+           ~context:[ ("mutation", Dp_verify.Inject.name mutation) ]
+           "corpus inject entry no longer produces a detectable fault")
+    | `Not_synthesizable d -> Error d
+    | `Escaped d -> Error d)
+  | None -> (
+    match Oracle.check ~config:oracle e.case with
+    | Pass | Bounded _ -> Ok ()
+    | Fail f -> Error f.Oracle.diag)
+
+let replay_dir ?oracle dir =
+  match Corpus.load_dir dir with
+  | Error d -> Error [ (dir, d) ]
+  | Ok entries ->
+    let failures =
+      List.filter_map
+        (fun (path, e) ->
+          match replay ?oracle e with
+          | Ok () -> None
+          | Error d -> Some (path, d))
+        entries
+    in
+    if failures = [] then Ok (List.length entries) else Error failures

@@ -1,0 +1,79 @@
+(** The fuzz loop: generate → oracle → shrink → corpus, plus the
+    fault-injection adversary and corpus replay.
+
+    Fault injection closes the loop on PR 1's [Dp_verify.Inject]: a
+    synthesized-then-corrupted netlist must be caught by the structural
+    lint or by divergence from the {!Bigval} reference.  An escaped
+    fault is itself a finding ([DP-FUZZ005]); a caught fault can be
+    shrunk into a corpus entry ([DP-FUZZ006]) that regression-tests the
+    checkers' teeth on every replay. *)
+
+type config = {
+  seed : int;
+  cases : int;
+  gen : Gen.config;
+  oracle : Oracle.config;
+  inject_every : int;  (** corrupt every Nth single-output case; 0 = off *)
+  tech_every : int;  (** synthesize every Nth case under a random tech; 0 = off *)
+  corpus_dir : string option;  (** save shrunken findings here *)
+  log : string -> unit;  (** progress sink ([ignore] for silence) *)
+}
+
+val default_config : config
+
+type finding = {
+  case : Case.t;  (** as generated *)
+  failure : Oracle.failure;
+  shrunk : Case.t;
+  shrunk_diag : Dp_diag.Diag.t;
+  saved : string option;  (** corpus path, when [corpus_dir] is set *)
+}
+
+type report = {
+  executed : int;
+  passed : int;
+  bounded : int;  (** budget-rejected cases — graceful, not failures *)
+  injected : int;
+  injected_caught : int;
+  findings : finding list;
+}
+
+val pp_report : report Fmt.t
+
+(** Run the loop.  Deterministic for a fixed config. *)
+val run : config -> report
+
+(** Apply [mutation] (with [mseed]) to the case synthesized under the
+    first strategy/adder of the oracle config; report how the corruption
+    was detected.  [`Escaped diag] carries a [DP-FUZZ005] diagnostic. *)
+val fault_detected :
+  ?oracle:Oracle.config -> mutation:Dp_verify.Inject.mutation -> mseed:int ->
+  Case.t ->
+  [ `Caught_by_lint of string
+  | `Caught_by_divergence of string
+  | `No_site
+  | `Not_synthesizable of Dp_diag.Diag.t
+  | `Neutral of string
+    (** the mutation provably did not change the function (equivalent
+        over the exhaustive input space) — a redundant site, not an
+        escape *)
+  | `Escaped of Dp_diag.Diag.t ]
+
+(** Shrink a case whose injected fault {e is} detected to a locally
+    minimal one where it still is, packaged as a corpus entry
+    (code [DP-FUZZ006]).  [Error] if the fault is not detected on the
+    initial case. *)
+val shrink_detected_fault :
+  ?oracle:Oracle.config -> mutation:Dp_verify.Inject.mutation -> mseed:int ->
+  Case.t -> (Corpus.entry, Dp_diag.Diag.t) result
+
+(** Replay one corpus entry: plain entries must pass the oracle
+    (budget-bounded counts as passing), [inject] entries must have their
+    fault detected. *)
+val replay : ?oracle:Oracle.config -> Corpus.entry -> (unit, Dp_diag.Diag.t) result
+
+(** Replay every [*.repro] under a directory; returns the failing
+    entries' paths and diagnostics. *)
+val replay_dir :
+  ?oracle:Oracle.config -> string ->
+  (int, (string * Dp_diag.Diag.t) list) result

@@ -1,0 +1,174 @@
+type config = {
+  max_size : int;
+  max_vars : int;
+  max_width : int;
+  multi_every : int;
+  allow_signed : bool;
+}
+
+let default_config =
+  { max_size = 14; max_vars = 4; max_width = 8; multi_every = 7; allow_signed = true }
+
+(* ------------------------------------------------------------------ *)
+(* Saturating width estimate (upper bound on the natural width). *)
+
+let wcap = 1000
+let wsat x = if x > wcap then wcap else x
+
+let bits_of_const c =
+  let rec go n v = if v = 0 then max 1 n else go (n + 1) (v lsr 1) in
+  go 0 (abs c) + if c < 0 then 1 else 0
+
+let rec width_estimate widths = function
+  | Dp_expr.Ast.Var x ->
+    (match List.assoc_opt x widths with Some w -> w | None -> 1)
+  | Dp_expr.Ast.Const c -> bits_of_const c
+  | Dp_expr.Ast.Add (a, b) | Dp_expr.Ast.Sub (a, b) ->
+    wsat (1 + max (width_estimate widths a) (width_estimate widths b))
+  | Dp_expr.Ast.Neg a -> wsat (1 + width_estimate widths a)
+  | Dp_expr.Ast.Mul (a, b) ->
+    wsat (width_estimate widths a + width_estimate widths b)
+  | Dp_expr.Ast.Pow (a, n) -> wsat (max 1 (n * width_estimate widths a))
+
+(* ------------------------------------------------------------------ *)
+(* Hazard-biased pools *)
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(* Width-1 variables head the pool: they are the classic boundary where
+   MSB-carry dropping, signedness and CSD recoding interact. *)
+let width_pool = [ 1; 1; 1; 2; 2; 3; 4; 5; 6; 8 ]
+
+(* 0 and ±1 coefficients short-circuit lowering paths; small odd values
+   exercise CSD digits of both signs. *)
+let const_pool = [ 0; 1; 1; -1; 2; 3; -3; 5; 7; -7; 10; 15 ]
+
+let gen_prob rng =
+  match Random.State.int rng 10 with
+  | 0 | 1 -> 0.0
+  | 2 | 3 -> 1.0
+  | 4 | 5 -> 0.5
+  | _ -> Float.of_int (Random.State.int rng 101) /. 100.0
+
+let gen_arrival rng =
+  if Random.State.bool rng then 0.0
+  else Float.of_int (Random.State.int rng 17) /. 4.0
+
+let gen_vars cfg rng =
+  let n = 1 + Random.State.int rng cfg.max_vars in
+  List.init n (fun i ->
+      let name = Printf.sprintf "v%d" i in
+      {
+        Case.name;
+        width = min cfg.max_width (pick rng width_pool);
+        signed = cfg.allow_signed && Random.State.int rng 5 = 0;
+        arrival = gen_arrival rng;
+        prob = gen_prob rng;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let gen_leaf rng names =
+  if Random.State.int rng 10 < 7 then Dp_expr.Ast.Var (pick rng names)
+  else Dp_expr.Ast.Const (pick rng const_pool)
+
+let rec gen_expr rng names size =
+  if size <= 1 then gen_leaf rng names
+  else
+    match Random.State.int rng 20 with
+    | 0 | 1 | 2 | 3 | 4 ->
+      let l = Random.State.int rng (size - 1) + 1 in
+      Dp_expr.Ast.Add (gen_expr rng names (l - 1), gen_expr rng names (size - l))
+    | 5 | 6 | 7 ->
+      let l = Random.State.int rng (size - 1) + 1 in
+      Dp_expr.Ast.Sub (gen_expr rng names (l - 1), gen_expr rng names (size - l))
+    | 8 | 9 | 10 | 11 ->
+      let l = Random.State.int rng (size - 1) + 1 in
+      Dp_expr.Ast.Mul (gen_expr rng names (l - 1), gen_expr rng names (size - l))
+    | 12 ->
+      Dp_expr.Ast.Neg (gen_expr rng names (size - 1))
+    | 13 ->
+      Dp_expr.Ast.Pow (gen_expr rng names ((size - 1) / 2), 2 + Random.State.int rng 2)
+    | 14 | 15 | 16 ->
+      (* deep multiply chain — the hazard the paper's trees are deepest on *)
+      let links = 2 + Random.State.int rng 3 in
+      let rec chain acc k =
+        if k = 0 then acc
+        else chain (Dp_expr.Ast.Mul (acc, gen_leaf rng names)) (k - 1)
+      in
+      chain (gen_leaf rng names) (min links (size - 1))
+    | _ -> gen_leaf rng names
+
+(* Regenerate until the estimated natural width fits the flow's 62-bit
+   ceiling; shrink the size budget on each failed attempt so termination
+   does not depend on luck. *)
+let gen_fitting_expr rng (vars : Case.var_spec list) size =
+  let names = List.map (fun (v : Case.var_spec) -> v.name) vars in
+  let widths = List.map (fun (v : Case.var_spec) -> (v.name, v.width)) vars in
+  let rec go size attempts =
+    let e = gen_expr rng names size in
+    if width_estimate widths e <= 60 then e
+    else if attempts >= 8 then Dp_expr.Ast.Var (List.hd names)
+    else go (max 2 (size * 2 / 3)) (attempts + 1)
+  in
+  (go size 0, widths)
+
+let gen_port_width rng widths e =
+  let est = min 62 (width_estimate widths e) in
+  match Random.State.int rng 10 with
+  | 0 | 1 -> min 62 (est + 1 + Random.State.int rng 3) (* padded *)
+  | 2 | 3 when est > 1 -> 1 + Random.State.int rng est (* truncated *)
+  | _ -> est
+
+let case ?(config = default_config) rng i =
+  let vars = gen_vars config rng in
+  let multi =
+    config.multi_every > 0 && i mod config.multi_every = config.multi_every - 1
+  in
+  let port name size =
+    let e, widths = gen_fitting_expr rng vars size in
+    (name, e, gen_port_width rng widths e)
+  in
+  let case =
+    if multi then
+      let n = 2 + Random.State.int rng 2 in
+      {
+        Case.vars;
+        ports =
+          List.init n (fun k ->
+              port (Printf.sprintf "out%d" k) (max 2 (config.max_size / 2)));
+      }
+    else { Case.vars; ports = [ port "out" (2 + Random.State.int rng (max 1 (config.max_size - 1))) ] }
+  in
+  Case.drop_unused_vars case
+
+(* ------------------------------------------------------------------ *)
+(* Technologies *)
+
+let tech rng =
+  let f lo hi = lo +. ((hi -. lo) *. Random.State.float rng 1.0) in
+  {
+    Dp_tech.Tech.name = "fuzzed";
+    fa_sum_delay = f 0.1 2.0;
+    fa_carry_delay = f 0.05 1.5;
+    ha_sum_delay = f 0.05 1.0;
+    ha_carry_delay = f 0.05 1.0;
+    and2_delay = f 0.02 0.8;
+    or2_delay = f 0.02 0.8;
+    xor2_delay = f 0.05 1.0;
+    not_delay = f 0.01 0.4;
+    buf_delay = f 0.01 0.4;
+    fa_area = f 1.0 12.0;
+    ha_area = f 0.5 8.0;
+    and2_area = f 0.2 3.0;
+    or2_area = f 0.2 3.0;
+    xor2_area = f 0.3 4.0;
+    not_area = f 0.1 1.5;
+    buf_area = f 0.1 1.5;
+    fa_sum_energy = f 0.01 1.0;
+    fa_carry_energy = f 0.01 1.0;
+    ha_sum_energy = f 0.01 0.8;
+    ha_carry_energy = f 0.01 0.8;
+    gate_energy = f 0.005 0.5;
+  }

@@ -1,0 +1,33 @@
+(** Seeded, size-parameterized random generation of fuzz cases and
+    technology files.
+
+    All randomness flows through the caller's [Random.State.t], so a
+    fixed seed reproduces the exact case stream (the determinism the
+    corpus and CI smoke job rely on).  Generation is biased toward the
+    hazard zones hand-written tests undersample: width-1 variables,
+    constant 0/±1 coefficients, deep multiply chains, extreme (0/1)
+    signal probabilities, signed operands, and skewed arrival times. *)
+
+type config = {
+  max_size : int;  (** AST node budget per port *)
+  max_vars : int;
+  max_width : int;  (** per-variable width ceiling *)
+  multi_every : int;  (** every Nth case is multi-output; 0 disables *)
+  allow_signed : bool;
+}
+
+(** size 14, 4 vars, width 8, multi every 7, signed on. *)
+val default_config : config
+
+(** [case ~config rng i] generates the [i]-th case.  Expressions are
+    regenerated until the estimated natural width fits the 62-bit flow
+    ceiling, so every emitted case is synthesizable by construction. *)
+val case : ?config:config -> Random.State.t -> int -> Case.t
+
+(** A random but well-formed technology (positive delays/areas/energies),
+    exercising timing/power models far from the defaults. *)
+val tech : Random.State.t -> Dp_tech.Tech.t
+
+(** Estimated output width of an expression (saturating upper bound on
+    the natural width). *)
+val width_estimate : (string * int) list -> Dp_expr.Ast.t -> int

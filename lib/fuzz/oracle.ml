@@ -1,0 +1,323 @@
+open Dp_netlist
+
+type config = {
+  strategies : Dp_flow.Strategy.t list;
+  adders : Dp_adders.Adder.kind list;
+  trials : int;
+  seed : int;
+  budget : Budget.t;
+  tech : Dp_tech.Tech.t option;
+}
+
+let default_config =
+  {
+    strategies = Dp_flow.Strategy.all;
+    adders = Dp_adders.Adder.all;
+    trials = 24;
+    seed = 0xF12D;
+    budget = Budget.default;
+    tech = None;
+  }
+
+type failure = {
+  strategy : Dp_flow.Strategy.t;
+  adder : Dp_adders.Adder.kind;
+  diag : Dp_diag.Diag.t;
+}
+
+type outcome = Pass | Bounded of Dp_diag.Diag.t | Fail of failure
+
+let pp_outcome ppf = function
+  | Pass -> Fmt.string ppf "pass"
+  | Bounded d -> Fmt.pf ppf "bounded (%s)" d.Dp_diag.Diag.code
+  | Fail f ->
+    Fmt.pf ppf "FAIL under %a/%a: %a" Dp_flow.Strategy.pp f.strategy
+      Dp_adders.Adder.pp f.adder Dp_diag.Diag.pp f.diag
+
+let is_budget_code code =
+  String.length code >= 9 && String.sub code 0 9 = "DP-BUDGET"
+
+(* ------------------------------------------------------------------ *)
+(* Assignments *)
+
+let rand_bits rng w =
+  (* Random.State.int caps below 2^30; stitch chunks for wide vars. *)
+  let rec go acc got =
+    if got >= w then acc land Dp_expr.Eval.mask w
+    else go ((acc lsl 24) lor Random.State.int rng (1 lsl 24)) (got + 24)
+  in
+  go 0 0
+
+(* Corner assignments first: all-0, all-1, one-hot MSBs, alternating
+   bits — the patterns carry chains and sign extensions break on. *)
+let corner_assignments (case : Case.t) =
+  let specs = case.Case.vars in
+  let all f = List.map (fun (v : Case.var_spec) -> (v.name, f v)) specs in
+  let base =
+    [
+      all (fun _ -> 0);
+      all (fun v -> Dp_expr.Eval.mask v.width);
+      all (fun v -> 1 lsl (v.width - 1));
+      all (fun v -> 0x5555555555 land Dp_expr.Eval.mask v.width);
+      all (fun v -> 1 land Dp_expr.Eval.mask v.width);
+    ]
+  in
+  let one_hot =
+    List.map
+      (fun (hot : Case.var_spec) ->
+        all (fun v ->
+            if v.name = hot.name then Dp_expr.Eval.mask v.width else 0))
+      specs
+  in
+  base @ one_hot
+
+let random_assignment rng (case : Case.t) =
+  List.map
+    (fun (v : Case.var_spec) -> (v.name, rand_bits rng v.width))
+    case.Case.vars
+
+let assignments ~seed ~trials case =
+  let rng = Random.State.make [| seed |] in
+  corner_assignments case
+  @ List.init trials (fun _ -> random_assignment rng case)
+
+(* Interpret a raw pattern as the variable's value (two's complement for
+   signed variables). *)
+let interpreted_value (case : Case.t) alist name =
+  let raw = List.assoc name alist in
+  let spec =
+    List.find (fun (v : Case.var_spec) -> v.name = name) case.Case.vars
+  in
+  if spec.signed then Dp_expr.Eval.signed_of_pattern ~width:spec.width raw
+  else raw
+
+(* ------------------------------------------------------------------ *)
+(* Differential check of one synthesized netlist *)
+
+let pp_alist ppf alist =
+  Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int)) ppf alist
+
+let divergence_diag ~code ~ctx fmt = Dp_diag.Diag.errorf ~code ~subsystem:"fuzz" ~context:ctx fmt
+
+let check_port ~code ~ctx case netlist alist (port, expr, width) =
+  let assign name = match List.assoc_opt name alist with Some v -> v | None -> 0 in
+  let big = Bigval.eval (fun x -> Bigval.of_int (interpreted_value case alist x)) expr in
+  let expect_bits = Bigval.to_bits ~width big in
+  (* Independent cross-check of the native evaluator itself. *)
+  let native =
+    Dp_expr.Eval.eval_mod ~width (interpreted_value case alist) expr
+  in
+  if native <> Bigval.to_int_mod ~width big then
+    Error
+      (divergence_diag ~code:"DP-FUZZ004"
+         ~ctx:(ctx @ [ ("port", port); ("assignment", Fmt.str "%a" pp_alist alist) ])
+         "native evaluator computed %d where the bignum reference computed %s \
+          (mod 2^%d)"
+         native (Bigval.to_string big) width)
+  else
+    let values = Dp_sim.Simulator.run netlist ~assign in
+    let out_nets = Netlist.find_output netlist port in
+    let actual_bit i = values.(out_nets.(i)) in
+    let diverged =
+      Array.exists
+        (fun i -> actual_bit i <> expect_bits.(i))
+        (Array.init (min width (Array.length out_nets)) Fun.id)
+    in
+    if not diverged then Ok ()
+    else
+      let actual = Dp_sim.Simulator.bus_value values out_nets in
+      Error
+        (divergence_diag ~code
+           ~ctx:
+             (ctx
+             @ [
+                 ("port", port);
+                 ("assignment", Fmt.str "%a" pp_alist alist);
+                 ("expected", Bigval.to_string big);
+                 ("actual", string_of_int actual);
+               ])
+           "netlist output %s diverges from the reference: expected %s mod \
+            2^%d, got %d"
+           port (Bigval.to_string big) width actual)
+
+(* Annotation sanity: recomputed-from-scratch STA/probabilities must match
+   the builder's incremental annotations; arrivals must be finite,
+   non-negative and monotone along every cell; switching estimates must
+   be finite and non-negative. *)
+let check_annotations ~ctx netlist =
+  let fail ~code fmt =
+    Fmt.kstr (fun msg -> Error (divergence_diag ~code ~ctx "%s" msg)) fmt
+  in
+  if not (Dp_timing.Sta.agrees_with_annotation ~eps:1e-6 netlist) then
+    fail ~code:"DP-FUZZ002"
+      "from-scratch STA disagrees with the builder's arrival annotations"
+  else begin
+    let bad_arrival = ref None in
+    for n = 0 to Netlist.net_count netlist - 1 do
+      let a = Netlist.arrival netlist n in
+      if (not (Float.is_finite a)) || a < 0.0 then
+        if !bad_arrival = None then bad_arrival := Some (n, a)
+    done;
+    match !bad_arrival with
+    | Some (n, a) ->
+      fail ~code:"DP-FUZZ002" "net %d has a negative or non-finite arrival %g" n a
+    | None ->
+      let non_monotone = ref None in
+      Netlist.iter_cells
+        (fun c (cell : Netlist.cell) ->
+          let latest_in =
+            Array.fold_left
+              (fun acc n -> Float.max acc (Netlist.arrival netlist n))
+              0.0 cell.inputs
+          in
+          Array.iter
+            (fun out ->
+              if Netlist.arrival netlist out +. 1e-9 < latest_in then
+                if !non_monotone = None then non_monotone := Some (c, out))
+            (Netlist.cell_output_nets netlist c))
+        netlist;
+      (match !non_monotone with
+      | Some (c, out) ->
+        fail ~code:"DP-FUZZ002"
+          "cell %d output net %d arrives before one of its inputs" c out
+      | None ->
+        if not (Dp_power.Prob.agrees_with_annotation ~eps:1e-6 netlist) then
+          fail ~code:"DP-FUZZ003"
+            "from-scratch probability propagation disagrees with the \
+             builder's annotations"
+        else
+          let tree = Dp_power.Switching.tree_switching netlist in
+          let total = Dp_power.Switching.total_switching netlist in
+          if
+            (not (Float.is_finite tree))
+            || (not (Float.is_finite total))
+            || tree < -1e-9 || total < -1e-9
+          then
+            fail ~code:"DP-FUZZ003"
+              "switching estimates are negative or non-finite (tree %g, total %g)"
+              tree total
+          else Ok ())
+  end
+
+let ( let* ) r k = match r with Ok v -> k v | Error _ as e -> e
+
+let check_netlist ~config ~ctx case netlist ports =
+  let* () = Budget.check_cells config.budget netlist in
+  let* () = check_annotations ~ctx netlist in
+  let rec over_assignments = function
+    | [] -> Ok ()
+    | alist :: rest ->
+      let rec over_ports = function
+        | [] -> Ok ()
+        | p :: ps ->
+          let* () = check_port ~code:"DP-FUZZ001" ~ctx case netlist alist p in
+          over_ports ps
+      in
+      let* () = over_ports ports in
+      over_assignments rest
+  in
+  over_assignments (assignments ~seed:config.seed ~trials:config.trials case)
+
+(* ------------------------------------------------------------------ *)
+(* The full strategy x adder matrix *)
+
+let synth_pair ~config case strategy adder =
+  let env = Case.env case in
+  match case.Case.ports with
+  (* [run_res] hard-codes the output name "out"; any other single port
+     (e.g. a shrunk multi-output case) must go through [run_multi_res]
+     so [check_port] can find its bus by name. *)
+  | [ ("out", expr, width) ] ->
+    Result.map
+      (fun (r : Dp_flow.Synth.result) -> r.netlist)
+      (Dp_flow.Synth.run_res ?tech:config.tech ~adder ~width
+         ~check_level:Dp_verify.Lint.Strict strategy env expr)
+  | ports ->
+    Result.map
+      (fun (r : Dp_flow.Synth.multi_result) -> r.netlist)
+      (Dp_flow.Synth.run_multi_res ?tech:config.tech ~adder
+         ~check_level:Dp_verify.Lint.Strict strategy env
+         (List.map
+            (fun (name, expr, width) -> { Dp_flow.Synth.name; expr; width })
+            ports))
+
+let check_pair ~config case strategy adder =
+  let ctx =
+    [
+      ("strategy", Dp_flow.Strategy.name strategy);
+      ("adder", Dp_adders.Adder.name adder);
+      ("repro", Case.synth_command ~strategy ~adder case);
+    ]
+  in
+  match
+    Budget.with_timeout config.budget (fun () ->
+        match synth_pair ~config case strategy adder with
+        | Error d -> Error d
+        | Ok netlist -> check_netlist ~config ~ctx case netlist case.Case.ports)
+  with
+  | Ok () -> Pass
+  | Error d ->
+    if is_budget_code d.Dp_diag.Diag.code then Bounded d
+    else Fail { strategy; adder; diag = d }
+  | exception Dp_diag.Diag.E d ->
+    if is_budget_code d.Dp_diag.Diag.code then Bounded d
+    else Fail { strategy; adder; diag = d }
+
+let check ?(config = default_config) case =
+  match Budget.check_static config.budget case with
+  | Error d -> Bounded d
+  | Ok () ->
+    let rec go bounded = function
+      | [] -> ( match bounded with Some d -> Bounded d | None -> Pass)
+      | (s, a) :: rest -> (
+        match check_pair ~config case s a with
+        | Pass -> go bounded rest
+        | Bounded d -> go (Some d) rest
+        | Fail _ as f -> f)
+    in
+    go None
+      (List.concat_map
+         (fun s -> List.map (fun a -> (s, a)) config.adders)
+         config.strategies)
+
+let test ?config case =
+  match check ?config case with
+  | Pass | Bounded _ -> None
+  | Fail f -> Some f.diag
+
+let diverges_on case ~port ~width netlist alists =
+  let expr =
+    match
+      List.find_opt (fun (name, _, _) -> name = port) case.Case.ports
+    with
+    | Some (_, e, _) -> e
+    | None -> invalid_arg "Oracle.diverges: unknown port"
+  in
+  let check alist =
+    match check_port ~code:"DP-FUZZ001" ~ctx:[] case netlist alist (port, expr, width) with
+    | Ok () -> false
+    | Error _ -> true
+    | exception _ -> true (* corrupted netlists may defeat the simulator *)
+  in
+  List.exists check alists
+
+let diverges ?(seed = 0xF12D) ?(trials = 48) case ~port ~width netlist =
+  diverges_on case ~port ~width netlist (assignments ~seed ~trials case)
+
+let all_assignments (case : Case.t) =
+  let bits =
+    List.fold_left
+      (fun acc (v : Case.var_spec) -> acc + v.width)
+      0 case.Case.vars
+  in
+  if bits > 16 then None
+  else
+    Some
+      (List.init (1 lsl bits) (fun code ->
+           let off = ref 0 in
+           List.map
+             (fun (v : Case.var_spec) ->
+               let value = (code lsr !off) land Dp_expr.Eval.mask v.width in
+               off := !off + v.width;
+               (v.name, value))
+             case.Case.vars))

@@ -1,0 +1,66 @@
+(** The differential oracle: one fuzz case through every reduction
+    strategy × final adder under the strict integrity gate, simulated
+    against the {!Bigval} reference, with STA/power annotations
+    cross-checked.
+
+    Failure diagnostics: [DP-FUZZ001] functional divergence,
+    [DP-FUZZ002] timing-annotation inconsistency, [DP-FUZZ003]
+    power-annotation inconsistency, [DP-FUZZ004] native/bignum evaluator
+    disagreement, plus whatever typed diagnostic an unexpected synthesis
+    rejection carries (including [DP-INTERNAL] for converted crashes).
+    Budget trips ([DP-BUDGET-*]) are reported as {!Bounded}, not
+    failures — a graceful rejection is the budget working as designed. *)
+
+type config = {
+  strategies : Dp_flow.Strategy.t list;
+  adders : Dp_adders.Adder.kind list;
+  trials : int;  (** random assignments per strategy × adder pair *)
+  seed : int;  (** assignment-stream seed *)
+  budget : Budget.t;
+  tech : Dp_tech.Tech.t option;  (** [None] = the default technology *)
+}
+
+(** Every strategy, every adder, 24 trials, {!Budget.default}. *)
+val default_config : config
+
+type failure = {
+  strategy : Dp_flow.Strategy.t;
+  adder : Dp_adders.Adder.kind;
+  diag : Dp_diag.Diag.t;
+}
+
+type outcome =
+  | Pass
+  | Bounded of Dp_diag.Diag.t  (** rejected by a resource budget *)
+  | Fail of failure
+
+val pp_outcome : outcome Fmt.t
+
+(** Check one case across the whole strategy × adder matrix; the first
+    failure wins.  Never raises. *)
+val check : ?config:config -> Case.t -> outcome
+
+(** {!check} as a shrinker predicate: [Some diag] iff the case fails. *)
+val test : ?config:config -> Case.t -> Dp_diag.Diag.t option
+
+(** [diverges ~seed ~trials case port width netlist] — does the netlist
+    disagree with the {!Bigval} reference on any probed assignment?
+    Exposed for the fault-injection loop, where the netlist has been
+    corrupted {e after} synthesis.  A simulation crash on a corrupted
+    netlist counts as divergence. *)
+val diverges :
+  ?seed:int -> ?trials:int -> Case.t -> port:string -> width:int ->
+  Dp_netlist.Netlist.t -> bool
+
+(** {!diverges} over a caller-supplied assignment list. *)
+val diverges_on :
+  Case.t -> port:string -> width:int -> Dp_netlist.Netlist.t ->
+  (string * int) list list -> bool
+
+(** Every assignment of the case's input space, LSB-first per variable —
+    [None] when the space exceeds 2^16 vectors.  With this list,
+    {!diverges_on} returning [false] {e proves} equivalence, which the
+    fault-injection loop uses to tell a genuinely escaped fault from a
+    mutation that landed on a redundant site (e.g. rewiring a
+    sign-extension replica to an equal-valued net). *)
+val all_assignments : Case.t -> (string * int) list list option

@@ -1,0 +1,129 @@
+type predicate = Case.t -> Dp_diag.Diag.t option
+
+(* ------------------------------------------------------------------ *)
+(* One-step expression reductions.  Every candidate either strictly
+   shrinks the AST or replaces a leaf one-way (Var -> Const 0 -> gone),
+   so the accept loop terminates without a fuel budget in practice. *)
+
+let rec expr_reductions (e : Dp_expr.Ast.t) : Dp_expr.Ast.t list =
+  let open Dp_expr.Ast in
+  let wrap mk = List.map mk in
+  let local =
+    match e with
+    | Var _ -> [ Const 0; Const 1 ]
+    | Const 0 -> []
+    | Const _ -> [ Const 0 ]
+    | Add (a, b) | Sub (a, b) | Mul (a, b) -> [ a; b ]
+    | Neg a -> [ a ]
+    | Pow (a, n) -> a :: (if n > 1 then [ Pow (a, Stdlib.( - ) n 1) ] else [])
+  in
+  let deeper =
+    match e with
+    | Var _ | Const _ -> []
+    | Add (a, b) ->
+      wrap (fun a' -> Add (a', b)) (expr_reductions a)
+      @ wrap (fun b' -> Add (a, b')) (expr_reductions b)
+    | Sub (a, b) ->
+      wrap (fun a' -> Sub (a', b)) (expr_reductions a)
+      @ wrap (fun b' -> Sub (a, b')) (expr_reductions b)
+    | Mul (a, b) ->
+      wrap (fun a' -> Mul (a', b)) (expr_reductions a)
+      @ wrap (fun b' -> Mul (a, b')) (expr_reductions b)
+    | Neg a -> wrap (fun a' -> Neg a') (expr_reductions a)
+    | Pow (a, n) -> wrap (fun a' -> Pow (a', n)) (expr_reductions a)
+  in
+  local @ deeper
+
+(* ------------------------------------------------------------------ *)
+(* Case-level candidates, big wins first. *)
+
+let replace_port (case : Case.t) i port =
+  { case with ports = List.mapi (fun j p -> if i = j then port else p) case.ports }
+
+let replace_var (case : Case.t) i v =
+  { case with vars = List.mapi (fun j w -> if i = j then v else w) case.vars }
+
+let candidates (case : Case.t) : Case.t list =
+  let drop_ports =
+    if List.length case.ports <= 1 then []
+    else
+      List.mapi (fun i _ -> { case with ports = List.filteri (fun j _ -> j <> i) case.ports })
+        case.ports
+  in
+  let shrink_exprs =
+    List.concat
+      (List.mapi
+         (fun i (name, e, w) ->
+           List.map (fun e' -> replace_port case i (name, e', w)) (expr_reductions e))
+         case.ports)
+  in
+  let shrink_port_widths =
+    List.concat
+      (List.mapi
+         (fun i (name, e, w) ->
+           if w <= 1 then []
+           else
+             [ replace_port case i (name, e, max 1 (w / 2));
+               replace_port case i (name, e, w - 1) ])
+         case.ports)
+  in
+  let shrink_var_widths =
+    List.concat
+      (List.mapi
+         (fun i (v : Case.var_spec) ->
+           if v.width <= 1 then []
+           else
+             [ replace_var case i { v with width = max 1 (v.width / 2) };
+               replace_var case i { v with width = v.width - 1 } ])
+         case.vars)
+  in
+  let neutralize_attrs =
+    List.concat
+      (List.mapi
+         (fun i (v : Case.var_spec) ->
+           (if v.signed then [ replace_var case i { v with signed = false } ] else [])
+           @ (if v.arrival <> 0.0 then [ replace_var case i { v with arrival = 0.0 } ] else [])
+           @
+           if v.prob <> 0.5 then [ replace_var case i { v with prob = 0.5 } ] else [])
+         case.vars)
+  in
+  let drop_unused =
+    let dropped = Case.drop_unused_vars case in
+    if List.length dropped.vars < List.length case.vars then [ dropped ] else []
+  in
+  (* Also offer each unused variable individually: dropping all of them
+     at once can flip the predicate (e.g. one that counts variables by
+     width) where dropping one at a time would not. *)
+  let drop_unused_single =
+    let used = Case.used_vars case in
+    List.concat
+      (List.mapi
+         (fun i (v : Case.var_spec) ->
+           if List.mem v.name used then []
+           else [ { case with vars = List.filteri (fun j _ -> j <> i) case.vars } ])
+         case.vars)
+  in
+  drop_ports @ shrink_exprs @ drop_unused @ drop_unused_single
+  @ shrink_port_widths @ shrink_var_widths @ neutralize_attrs
+
+let minimize ?(max_steps = 2000) ~(test : predicate) case =
+  let code, diag0 =
+    match test case with
+    | Some d -> (d.Dp_diag.Diag.code, d)
+    | None -> invalid_arg "Shrink.minimize: case does not fail"
+  in
+  let rec go case diag steps =
+    if steps >= max_steps then (case, diag)
+    else
+      let rec first = function
+        | [] -> None
+        | c :: rest -> (
+          match test c with
+          | Some d when d.Dp_diag.Diag.code = code -> Some (c, d)
+          | _ -> first rest)
+      in
+      match first (candidates case) with
+      | Some (c, d) -> go c d (steps + 1)
+      | None -> (case, diag)
+  in
+  go case diag0 0

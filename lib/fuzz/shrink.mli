@@ -1,0 +1,18 @@
+(** Greedy delta-debugging over fuzz cases.
+
+    [minimize ~test case] repeatedly tries structure-reducing rewrites —
+    drop an output port, hoist a subexpression over its parent, zero a
+    coefficient, halve a width, neutralize an arrival/probability/sign
+    attribute, drop an unused variable — accepting a rewrite whenever
+    the reduced case {e still fails with the same diagnostic code}, until
+    no rewrite is accepted.  The result is locally minimal: every single
+    rewrite either passes or fails differently. *)
+
+(** [test c] is [Some diag] iff [c] fails. *)
+type predicate = Case.t -> Dp_diag.Diag.t option
+
+(** @raise Invalid_argument if [test case] already passes.  Returns the
+    minimized case and the diagnostic it still fails with.  [max_steps]
+    (default 2000) bounds accepted rewrites as a termination backstop. *)
+val minimize :
+  ?max_steps:int -> test:predicate -> Case.t -> Case.t * Dp_diag.Diag.t

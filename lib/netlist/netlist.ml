@@ -51,6 +51,10 @@ let cell t i = Vec.get t.cells i
 let cell_output_nets t i = Vec.get t.cell_outputs i
 
 let new_net t ~driver ~arrival ~prob =
+  (* The incremental probability formulas (paper Sec. 4.2) can round a
+     few ulps outside [0,1] at extreme input probabilities; clamp here so
+     every stored annotation honours the invariant the lint enforces. *)
+  let prob = Float.max 0.0 (Float.min 1.0 prob) in
   let n = Vec.push t.drivers driver in
   let n' = Vec.push t.arrival arrival in
   let n'' = Vec.push t.prob prob in

@@ -50,7 +50,11 @@ let probabilities netlist =
     | Netlist.From_input _ -> probs.(net) <- Netlist.prob netlist net
     | Netlist.From_const b -> probs.(net) <- (if b then 1.0 else 0.0)
     | Netlist.From_cell { cell; port } ->
-      probs.(net) <- cell_output_prob (Netlist.cell netlist cell) probs ~port
+      (* Same clamp as [Netlist.new_net]: the exact formulas can round a
+         few ulps outside [0,1] at extreme input probabilities. *)
+      probs.(net) <-
+        Float.max 0.0
+          (Float.min 1.0 (cell_output_prob (Netlist.cell netlist cell) probs ~port))
   done;
   probs
 

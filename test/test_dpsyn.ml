@@ -20,6 +20,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("misc", Test_misc.suite);
       ("verify", Test_verify.suite);
+      ("fuzz", Test_fuzz.suite);
       ("properties", Test_props.suite);
       ("properties2", Test_props2.suite);
     ]
