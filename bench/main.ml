@@ -499,7 +499,207 @@ let ablation_pipeline () =
        ~rows)
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks: one per table/figure *)
+(* Machine-readable benchmark output.
+
+   [speed] writes BENCH_results.json next to the per-run table so every
+   PR leaves a perf trajectory: per-experiment ns/run, the cell counts
+   and matrix heights of the structures each case exercises, and the git
+   revision the numbers belong to. *)
+
+let quick = ref false
+let json_path = ref "BENCH_results.json"
+
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+    | Int of int
+    | Bool of bool
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf = function
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\"%s\":" (escape k));
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf v)
+        xs;
+      Buffer.add_char buf ']'
+    | Str s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape s))
+    | Num f ->
+      (* JSON has no NaN/inf *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    emit buf t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+end
+
+(* Resolve HEAD from .git directly; bench links no process or unix API. *)
+let git_rev () =
+  let read_line path =
+    if Sys.file_exists path then (
+      let ic = open_in path in
+      let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      close_in ic;
+      line)
+    else None
+  in
+  match read_line ".git/HEAD" with
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " -> (
+    let r = String.trim (String.sub head 5 (String.length head - 5)) in
+    match read_line (".git/" ^ r) with Some rev -> rev | None -> "unknown")
+  | Some rev -> rev
+  | None -> "unknown"
+
+(* ------------------------------------------------------------------ *)
+(* Speed fixtures: the structures the reduction/simulation cases exercise *)
+
+(* A single tall column with skewed arrivals and probabilities — the
+   wide/tall shape where heap selection beats sort-per-step. *)
+let tall_column netlist ~n =
+  let arrival = Array.init n (fun i -> float_of_int (i mod 7)) in
+  let prob =
+    Array.init n (fun i -> 0.05 +. (0.9 *. float_of_int (i mod 10) /. 9.0))
+  in
+  Array.to_list
+    (Dp_netlist.Netlist.add_input netlist "x" ~width:n ~arrival ~prob)
+
+let sc_t_reduce impl n () =
+  let netlist = Dp_netlist.Netlist.create ~tech:Dp_tech.Tech.unit_delay in
+  let col = tall_column netlist ~n in
+  ignore
+    (match impl with
+    | `Heap -> Dp_core.Sc_t.reduce_column netlist col
+    | `Sorted -> Dp_core.Sc_t.reduce_column_reference netlist col)
+
+let sc_lp_reduce impl n () =
+  let netlist = Dp_netlist.Netlist.create ~tech:Dp_tech.Tech.lcb_like in
+  let col = tall_column netlist ~n in
+  ignore
+    (match impl with
+    | `Heap -> Dp_core.Sc_lp.reduce_column netlist col
+    | `Sorted -> Dp_core.Sc_lp.reduce_column_reference netlist col)
+
+let mult_design w =
+  (Dp_expr.Env.of_widths [ ("x", w); ("y", w) ], Dp_expr.Parse.expr "x*y")
+
+let mult_alloc impl w () =
+  let env, expr = mult_design w in
+  let netlist = Dp_netlist.Netlist.create ~tech:Dp_tech.Tech.lcb_like in
+  let m = Dp_bitmatrix.Lower.lower netlist env expr ~width:(2 * w) in
+  match impl with
+  | `Heap -> Dp_core.Fa_aot.allocate netlist m
+  | `Sorted ->
+    Dp_core.Reduce.sweep netlist m
+      ~reducer:(fun nl col -> Dp_core.Sc_t.reduce_column_reference nl col)
+
+(* Deterministic per-lane input patterns for the simulator throughput
+   cases; cheap enough not to dominate the measurement. *)
+let sim_mix lane name =
+  let h = ref ((lane * 0x9E3779B1) + 0x2545F) in
+  String.iter (fun c -> h := (!h * 31) + Char.code c) name;
+  !h land max_int
+
+let sim_fixture =
+  lazy
+    (let r = run Strategy.Fa_aot Dp_designs.Catalog.idct in
+     let widths =
+       List.map
+         (fun (name, nets) -> (name, Array.length nets))
+         (Dp_netlist.Netlist.inputs r.netlist)
+     in
+     (r.netlist, widths))
+
+let sim_assign widths lane name =
+  sim_mix lane name land Dp_expr.Eval.mask (List.assoc name widths)
+
+let scalar_64vec () =
+  let netlist, widths = Lazy.force sim_fixture in
+  for lane = 0 to 63 do
+    ignore (Dp_sim.Simulator.run netlist ~assign:(sim_assign widths lane))
+  done
+
+let bitsim_64vec () =
+  let netlist, widths = Lazy.force sim_fixture in
+  ignore
+    (Dp_sim.Bitsim.run_lanes netlist ~lanes:64 ~assign:(fun lane name ->
+         sim_assign widths lane name))
+
+(* Cell counts and matrix heights of the structures above, for the JSON
+   baseline (one construction per case, outside the timed loop). *)
+let speed_case_meta () =
+  let column_case name n reduce =
+    let netlist = Dp_netlist.Netlist.create ~tech:Dp_tech.Tech.lcb_like in
+    let col = tall_column netlist ~n in
+    ignore (reduce netlist col);
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("matrix_height", Json.Int n);
+        ("cells", Json.Int (Dp_netlist.Netlist.cell_count netlist));
+      ]
+  in
+  let mult_case name w =
+    let env, expr = mult_design w in
+    let netlist = Dp_netlist.Netlist.create ~tech:Dp_tech.Tech.lcb_like in
+    let m = Dp_bitmatrix.Lower.lower netlist env expr ~width:(2 * w) in
+    let height = Dp_bitmatrix.Matrix.height m in
+    Dp_core.Fa_aot.allocate netlist m;
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("matrix_height", Json.Int height);
+        ("cells", Json.Int (Dp_netlist.Netlist.cell_count netlist));
+      ]
+  in
+  let sim_case name =
+    let netlist, _ = Lazy.force sim_fixture in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("nets", Json.Int (Dp_netlist.Netlist.net_count netlist));
+        ("cells", Json.Int (Dp_netlist.Netlist.cell_count netlist));
+      ]
+  in
+  [
+    column_case "reduce/sc_t_n64" 64 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
+    column_case "reduce/sc_t_n256" 256 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
+    column_case "reduce/sc_lp_n256" 256 (fun nl c -> ignore (Dp_core.Sc_lp.reduce_column nl c));
+    mult_case "reduce/fa_aot_mult24" 24;
+    sim_case "sim/idct_fa_aot";
+  ]
 
 let bechamel_tests () =
   let open Bechamel in
@@ -547,6 +747,27 @@ let bechamel_tests () =
              let bits = Dp_netlist.Netlist.add_input netlist "x" ~width:6 in
              ignore (Dp_core.Sc_t.reduce_column netlist (Array.to_list bits))));
       Test.make ~name:"fig4/sc_lp_example" (Staged.stage fig4_alloc);
+      (* Heap-based column reduction vs the retained sort-per-step
+         reference, on the wide/tall shapes where the asymptotics show. *)
+      Test.make ~name:"reduce/sc_t_heap_n64" (Staged.stage (sc_t_reduce `Heap 64));
+      Test.make ~name:"reduce/sc_t_sorted_n64"
+        (Staged.stage (sc_t_reduce `Sorted 64));
+      Test.make ~name:"reduce/sc_t_heap_n256"
+        (Staged.stage (sc_t_reduce `Heap 256));
+      Test.make ~name:"reduce/sc_t_sorted_n256"
+        (Staged.stage (sc_t_reduce `Sorted 256));
+      Test.make ~name:"reduce/sc_lp_heap_n256"
+        (Staged.stage (sc_lp_reduce `Heap 256));
+      Test.make ~name:"reduce/sc_lp_sorted_n256"
+        (Staged.stage (sc_lp_reduce `Sorted 256));
+      Test.make ~name:"reduce/fa_aot_mult24_heap"
+        (Staged.stage (mult_alloc `Heap 24));
+      Test.make ~name:"reduce/fa_aot_mult24_sorted"
+        (Staged.stage (mult_alloc `Sorted 24));
+      (* 64 vectors through the scalar simulator vs one 64-lane packed
+         sweep of the same netlist. *)
+      Test.make ~name:"sim/scalar_64vec_idct" (Staged.stage scalar_64vec);
+      Test.make ~name:"sim/bitsim_64vec_idct" (Staged.stage bitsim_64vec);
     ]
 
 let speed () =
@@ -557,16 +778,53 @@ let speed () =
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    if !quick then
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.02) ~kde:(Some 100) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances (bechamel_tests ()) in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (name, ols) ->
-         match Analyze.OLS.estimates ols with
-         | Some [ ns ] -> Fmt.pr "%-34s %12.0f ns/run@." name ns
-         | Some _ | None -> Fmt.pr "%-34s (no estimate)@." name)
+  let estimates =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, ols) ->
+           match Analyze.OLS.estimates ols with
+           | Some [ ns ] -> (name, Some ns)
+           | Some _ | None -> (name, None))
+  in
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some ns -> Fmt.pr "%-34s %12.0f ns/run@." name ns
+      | None -> Fmt.pr "%-34s (no estimate)@." name)
+    estimates;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.Str "dpsyn-bench-speed/1");
+        ("git_rev", Json.Str (git_rev ()));
+        ("quick", Json.Bool !quick);
+        ( "results",
+          Json.Arr
+            (List.map
+               (fun (name, est) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str name);
+                     ( "ns_per_run",
+                       match est with Some ns -> Json.Num ns | None -> Json.Num Float.nan
+                     );
+                   ])
+               estimates) );
+        ("cases", Json.Arr (speed_case_meta ()));
+      ]
+  in
+  let oc = open_out !json_path in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Fmt.pr "@.wrote %s (%d experiments, git %s)@." !json_path
+    (List.length estimates)
+    (git_rev ())
 
 (* ------------------------------------------------------------------ *)
 
@@ -590,9 +848,19 @@ let experiments =
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] | [] -> List.iter (fun (_, f) -> f ()) experiments
-  | _ :: names ->
+  let rec parse_flags = function
+    | "--quick" :: rest ->
+      quick := true;
+      parse_flags rest
+    | "--json" :: path :: rest ->
+      json_path := path;
+      parse_flags rest
+    | name :: rest -> name :: parse_flags rest
+    | [] -> []
+  in
+  match parse_flags (List.tl (Array.to_list Sys.argv)) with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with

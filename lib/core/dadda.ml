@@ -9,22 +9,23 @@ let next_target height =
   if height <= 2 then 2 else go 2
 
 (* Reduce one pool to [target] members with the classic minimal rule: an HA
-   when exactly one above target, an FA otherwise; fixed (listed) order. *)
+   when exactly one above target, an FA otherwise; fixed (listed) order.
+   The pool length is threaded through the loop (an FA shrinks it by two,
+   an HA by one) instead of being recounted every step. *)
 let shrink netlist ~target pool =
-  let rec go pool carries =
-    let n = List.length pool in
+  let rec go pool n carries =
     if n <= target then pool, List.rev carries
     else
       match pool with
       | x :: y :: z :: rest when n > target + 1 ->
         let sum, carry = Netlist.fa netlist x y z in
-        go (rest @ [ sum ]) (carry :: carries)
+        go (rest @ [ sum ]) (n - 2) (carry :: carries)
       | x :: y :: rest ->
         let sum, carry = Netlist.ha netlist x y in
-        go (rest @ [ sum ]) (carry :: carries)
+        go (rest @ [ sum ]) (n - 1) (carry :: carries)
       | [ _ ] | [] -> pool, List.rev carries
   in
-  go pool []
+  go pool (List.length pool) []
 
 let allocate netlist matrix =
   let in_range j =

@@ -1,0 +1,67 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ~cmp ~dummy = { cmp; data = Array.make 16 dummy; len = 0; dummy }
+let length h = h.len
+let is_empty h = h.len = 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.len && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.len = Array.length h.data then begin
+    let data = Array.make (2 * h.len) h.dummy in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then invalid_arg "Pqueue.pop: empty";
+  let top = h.data.(0) in
+  h.len <- h.len - 1;
+  h.data.(0) <- h.data.(h.len);
+  h.data.(h.len) <- h.dummy;
+  if h.len > 0 then sift_down h 0;
+  top
+
+let of_list ~cmp ~dummy = function
+  | [] -> create ~cmp ~dummy
+  | xs ->
+    let data = Array.of_list xs in
+    let h = { cmp; data; len = Array.length data; dummy } in
+    for i = (h.len / 2) - 1 downto 0 do
+      sift_down h i
+    done;
+    h
+
+let drain h =
+  let rec go acc = if is_empty h then List.rev acc else go (pop h :: acc) in
+  go []

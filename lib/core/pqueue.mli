@@ -1,0 +1,35 @@
+(** Polymorphic binary min-heap, the shared selection core of the greedy
+    column-reduction algorithms (SC_T, SC_LP).
+
+    The heap is keyed by the caller's comparator.  When the comparator is a
+    {e total} order (every pair of distinct elements compares non-zero —
+    the allocation comparators end with a net-id tie-break, so they are),
+    the pop sequence equals the fully sorted order, which is what makes the
+    heap-based reducers decision-identical to the retained list-sort
+    reference implementations: popping the k smallest of a pool is the same
+    as sorting it and taking the first k.
+
+    Keys must not change while an element is inside the heap.  Net
+    annotations (arrival, probability) are immutable after creation, so
+    closing a comparator over a [Netlist.t] is safe. *)
+
+type 'a t
+
+(** [dummy] fills unused capacity and is never observable. *)
+val create : cmp:('a -> 'a -> int) -> dummy:'a -> 'a t
+
+(** Floyd heap construction, O(n). *)
+val of_list : cmp:('a -> 'a -> int) -> dummy:'a -> 'a list -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** Remove and return the minimum, O(log n).
+    @raise Invalid_argument when empty. *)
+val pop : 'a t -> 'a
+
+(** Pop everything; ascending under the comparator.  Empties the heap. *)
+val drain : 'a t -> 'a list

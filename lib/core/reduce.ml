@@ -12,14 +12,16 @@ let sweep netlist matrix ~reducer =
      matrix is modular). *)
   let j = ref 0 in
   while !j < Matrix.width matrix do
-    let col = Matrix.column matrix !j in
-    if List.length col > 2 then begin
+    (match Matrix.column matrix !j with
+    | _ :: _ :: _ :: _ as col ->
       let kept, carries = reducer netlist col in
-      if List.length kept > 2 then
-        invalid_arg "Reduce.sweep: reducer left more than two addends";
+      (match kept with
+      | _ :: _ :: _ :: _ ->
+        invalid_arg "Reduce.sweep: reducer left more than two addends"
+      | [] | [ _ ] | [ _; _ ] -> ());
       Matrix.set_column matrix !j kept;
       List.iter (fun net -> Matrix.add matrix ~weight:(!j + 1) net) carries
-    end;
+    | [] | [ _ ] | [ _; _ ] -> ());
     incr j
   done;
   assert (Matrix.is_reduced matrix)

@@ -21,13 +21,51 @@ let compare_nets netlist tie_break x y =
     in
     if by_arrival <> 0 then by_arrival else Int.compare x y
 
+(* Algorithm SC_LP (Sec. 4.3): if the column population is odd, a
+   pseudo-addend of constant 0 joins the pool to model the HA (|q| of the
+   constant is the maximal 0.5, so the HA is allocated in the first
+   iteration); then every step feeds the three largest-|q| addends to a
+   new FA.  The builder degrades an FA with a constant input to an HA.
+   The pool size stays even, so it lands on exactly two.
+
+   Like SC_T, each step only needs the three extrema of the pool, so a
+   min-heap under the descending-|q| comparator replaces the reference's
+   sort-per-step.  The comparator is total (net id last), so the result
+   is decision-identical to [reduce_column_reference] — including the
+   kept-pair order, which the reference leaves as [last sum; leftover]
+   rather than re-sorted. *)
 let reduce_column ?(tie_break = Q_only) netlist addends =
-  (* Algorithm SC_LP (Sec. 4.3): if the column population is odd, a
-     pseudo-addend of constant 0 joins the pool to model the HA (|q| of the
-     constant is the maximal 0.5, so the HA is allocated in the first
-     iteration); then every step feeds the three largest-|q| addends to a
-     new FA.  The builder degrades an FA with a constant input to an HA.
-     The pool size stays even, so it lands on exactly two. *)
+  match addends with
+  | [] | [ _ ] | [ _; _ ] -> addends, []
+  | _ :: _ :: _ :: _ ->
+    let even_pool =
+      if List.length addends mod 2 = 1 then
+        Netlist.const netlist false :: addends
+      else addends
+    in
+    let pool =
+      Pqueue.of_list ~cmp:(compare_nets netlist tie_break) ~dummy:(-1) even_pool
+    in
+    (* The pool size is even and >= 4, and each step removes two, so the
+       step that leaves one heap element is always reached. *)
+    let rec go carries =
+      let x = Pqueue.pop pool in
+      let y = Pqueue.pop pool in
+      let z = Pqueue.pop pool in
+      let sum, carry = Netlist.fa netlist x y z in
+      let carries = carry :: carries in
+      if Pqueue.length pool = 1 then
+        [ sum; Pqueue.pop pool ], List.rev carries
+      else begin
+        Pqueue.push pool sum;
+        go carries
+      end
+    in
+    go []
+
+(* The pre-heap implementation, retained verbatim as the reference the
+   decision-identity tests diff against. *)
+let reduce_column_reference ?(tie_break = Q_only) netlist addends =
   if List.length addends <= 2 then addends, []
   else begin
     let pool =

@@ -15,6 +15,15 @@ type tie_break =
   | Q_only
   | Prefer_early  (** break |q| ties toward early arrival, helping timing *)
 
+(** Heap-based selection (O(n log n) per column): the three largest-|q|
+    addends feed each FA, popped from a {!Pqueue}. *)
 val reduce_column :
+  ?tie_break:tie_break -> Netlist.t -> Netlist.net list ->
+  Netlist.net list * Netlist.net list
+
+(** The original sort-per-step implementation (O(n^2 log n) per column),
+    retained as the reference for the decision-identity tests: both
+    implementations must produce byte-identical netlists. *)
+val reduce_column_reference :
   ?tie_break:tie_break -> Netlist.t -> Netlist.net list ->
   Netlist.net list * Netlist.net list

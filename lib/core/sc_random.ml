@@ -1,27 +1,33 @@
 open Dp_netlist
 
-let take_random rng pool =
-  let arr = Array.of_list pool in
-  let i = Random.State.int rng (Array.length arr) in
-  let chosen = arr.(i) in
-  chosen, List.filteri (fun j _ -> j <> i) pool
+(* Remove the [i]-th element in a single pass, preserving the order of the
+   rest.  [len] is the caller-tracked pool length, so no O(n) count and no
+   array round-trip per pick. *)
+let take_random rng ~len pool =
+  let i = Random.State.int rng len in
+  let rec go j acc = function
+    | [] -> assert false
+    | x :: rest ->
+      if j = i then x, List.rev_append acc rest else go (j + 1) (x :: acc) rest
+  in
+  go 0 [] pool
 
 let reduce_column rng netlist addends =
   (* The FA_random baseline of Table 2: same FA/HA counts as SC_T/SC_LP,
      uniformly random input selection. *)
-  let rec go pool carries =
-    match List.length pool with
+  let rec go pool len carries =
+    match len with
     | 0 | 1 | 2 -> pool, List.rev carries
     | 3 ->
-      let x, pool = take_random rng pool in
-      let y, pool = take_random rng pool in
+      let x, pool = take_random rng ~len:3 pool in
+      let y, pool = take_random rng ~len:2 pool in
       let sum, carry = Netlist.ha netlist x y in
       (sum :: pool), List.rev (carry :: carries)
     | _ ->
-      let x, pool = take_random rng pool in
-      let y, pool = take_random rng pool in
-      let z, pool = take_random rng pool in
+      let x, pool = take_random rng ~len pool in
+      let y, pool = take_random rng ~len:(len - 1) pool in
+      let z, pool = take_random rng ~len:(len - 2) pool in
       let sum, carry = Netlist.fa netlist x y z in
-      go (sum :: pool) (carry :: carries)
+      go (sum :: pool) (len - 2) (carry :: carries)
   in
-  go addends []
+  go addends (List.length addends) []

@@ -24,7 +24,18 @@ type three_policy =
   | Ha_finish  (** the paper's rule: HA on the two earliest, keep two *)
   | Fa_finish  (** one FA on all three, keep only its sum *)
 
+(** Heap-based selection (O(n log n) per column): the three minima feed
+    each FA, popped from a {!Pqueue} keyed by arrival, then |q| (under
+    [Prefer_high_q]), then net id. *)
 val reduce_column :
+  ?tie_break:tie_break -> ?three_policy:three_policy ->
+  Netlist.t -> Netlist.net list ->
+  Netlist.net list * Netlist.net list
+
+(** The original sort-per-step implementation (O(n^2 log n) per column),
+    retained as the reference for the decision-identity tests: both
+    implementations must produce byte-identical netlists. *)
+val reduce_column_reference :
   ?tie_break:tie_break -> ?three_policy:three_policy ->
   Netlist.t -> Netlist.net list ->
   Netlist.net list * Netlist.net list

@@ -25,13 +25,13 @@ let stage netlist matrix =
   let carries = Array.make (width + 1) [] in
   let changed = ref false in
   for j = 0 to width - 1 do
-    let col = Matrix.column matrix j in
-    if List.length col >= 3 then begin
+    match Matrix.column matrix j with
+    | _ :: _ :: _ :: _ as col ->
       changed := true;
       let kept, cs = compress_stage netlist col in
       Matrix.set_column matrix j kept;
       carries.(j + 1) <- cs
-    end
+    | [] | [ _ ] | [ _; _ ] -> ()
   done;
   Array.iteri
     (fun j cs -> List.iter (fun net -> Matrix.add matrix ~weight:j net) cs)

@@ -99,8 +99,9 @@ let pp_alist ppf alist =
 
 let divergence_diag ~code ~ctx fmt = Dp_diag.Diag.errorf ~code ~subsystem:"fuzz" ~context:ctx fmt
 
-let check_port ~code ~ctx case netlist alist (port, expr, width) =
-  let assign name = match List.assoc_opt name alist with Some v -> v | None -> 0 in
+(* Check one (assignment, port) pair against lane [lane] of a packed
+   [Bitsim] sweep that already simulated the assignment. *)
+let check_port_lane ~code ~ctx case netlist values ~lane alist (port, expr, width) =
   let big = Bigval.eval (fun x -> Bigval.of_int (interpreted_value case alist x)) expr in
   let expect_bits = Bigval.to_bits ~width big in
   (* Independent cross-check of the native evaluator itself. *)
@@ -115,9 +116,8 @@ let check_port ~code ~ctx case netlist alist (port, expr, width) =
           (mod 2^%d)"
          native (Bigval.to_string big) width)
   else
-    let values = Dp_sim.Simulator.run netlist ~assign in
     let out_nets = Netlist.find_output netlist port in
-    let actual_bit i = values.(out_nets.(i)) in
+    let actual_bit i = Dp_sim.Bitsim.lane_bit values out_nets.(i) ~lane in
     let diverged =
       Array.exists
         (fun i -> actual_bit i <> expect_bits.(i))
@@ -125,7 +125,7 @@ let check_port ~code ~ctx case netlist alist (port, expr, width) =
     in
     if not diverged then Ok ()
     else
-      let actual = Dp_sim.Simulator.bus_value values out_nets in
+      let actual = Dp_sim.Bitsim.bus_value values out_nets ~lane in
       Error
         (divergence_diag ~code
            ~ctx:
@@ -139,6 +139,43 @@ let check_port ~code ~ctx case netlist alist (port, expr, width) =
            "netlist output %s diverges from the reference: expected %s mod \
             2^%d, got %d"
            port (Bigval.to_string big) width actual)
+
+(* Differentially check every (assignment, port) pair, simulating the
+   netlist 64 assignments per sweep.  Lanes are scanned assignment-major,
+   port-minor, so the first reported failure is the one the scalar loop
+   used to find. *)
+let check_assignments_batch ~code ~ctx case netlist ports alists =
+  let arr = Array.of_list alists in
+  let total = Array.length arr in
+  let rec block start =
+    if start >= total then Ok ()
+    else begin
+      let lanes = min 64 (total - start) in
+      let values =
+        Dp_sim.Bitsim.run_lanes netlist ~lanes ~assign:(fun k name ->
+            match List.assoc_opt name arr.(start + k) with
+            | Some v -> v
+            | None -> 0)
+      in
+      let rec lane k =
+        if k >= lanes then block (start + lanes)
+        else
+          let rec over_ports = function
+            | [] -> lane (k + 1)
+            | p :: ps -> (
+              match
+                check_port_lane ~code ~ctx case netlist values ~lane:k
+                  arr.(start + k) p
+              with
+              | Ok () -> over_ports ps
+              | Error _ as e -> e)
+          in
+          over_ports ports
+      in
+      lane 0
+    end
+  in
+  block 0
 
 (* Annotation sanity: recomputed-from-scratch STA/probabilities must match
    the builder's incremental annotations; arrivals must be finite,
@@ -204,19 +241,8 @@ let ( let* ) r k = match r with Ok v -> k v | Error _ as e -> e
 let check_netlist ~config ~ctx case netlist ports =
   let* () = Budget.check_cells config.budget netlist in
   let* () = check_annotations ~ctx netlist in
-  let rec over_assignments = function
-    | [] -> Ok ()
-    | alist :: rest ->
-      let rec over_ports = function
-        | [] -> Ok ()
-        | p :: ps ->
-          let* () = check_port ~code:"DP-FUZZ001" ~ctx case netlist alist p in
-          over_ports ps
-      in
-      let* () = over_ports ports in
-      over_assignments rest
-  in
-  over_assignments (assignments ~seed:config.seed ~trials:config.trials case)
+  check_assignments_batch ~code:"DP-FUZZ001" ~ctx case netlist ports
+    (assignments ~seed:config.seed ~trials:config.trials case)
 
 (* ------------------------------------------------------------------ *)
 (* The full strategy x adder matrix *)
@@ -293,13 +319,13 @@ let diverges_on case ~port ~width netlist alists =
     | Some (_, e, _) -> e
     | None -> invalid_arg "Oracle.diverges: unknown port"
   in
-  let check alist =
-    match check_port ~code:"DP-FUZZ001" ~ctx:[] case netlist alist (port, expr, width) with
-    | Ok () -> false
-    | Error _ -> true
-    | exception _ -> true (* corrupted netlists may defeat the simulator *)
-  in
-  List.exists check alists
+  match
+    check_assignments_batch ~code:"DP-FUZZ001" ~ctx:[] case netlist
+      [ (port, expr, width) ] alists
+  with
+  | Ok () -> false
+  | Error _ -> true
+  | exception _ -> true (* corrupted netlists may defeat the simulator *)
 
 let diverges ?(seed = 0xF12D) ?(trials = 48) case ~port ~width netlist =
   diverges_on case ~port ~width netlist (assignments ~seed ~trials case)

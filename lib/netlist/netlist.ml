@@ -16,6 +16,10 @@ type t = {
   cell_outputs : net array Vec.t;
   mutable inputs : (string * net array) list;  (* reverse declaration order *)
   mutable outputs : (string * net array) list;  (* reverse declaration order *)
+  (* name -> bus indices over [inputs]/[outputs]; the lists keep the
+     declaration order, the tables make lookup and duplicate detection O(1) *)
+  input_index : (string, net array) Hashtbl.t;
+  output_index : (string, net array) Hashtbl.t;
   mutable const_false : net option;
   mutable const_true : net option;
   not_cache : (net, net) Hashtbl.t;
@@ -33,6 +37,8 @@ let create ~tech =
     cell_outputs = Vec.create ~dummy:[||];
     inputs = [];
     outputs = [];
+    input_index = Hashtbl.create 16;
+    output_index = Hashtbl.create 16;
     const_false = None;
     const_true = None;
     not_cache = Hashtbl.create 64;
@@ -62,7 +68,7 @@ let new_net t ~driver ~arrival ~prob =
   n
 
 let add_input ?arrival ?prob t name ~width =
-  if List.mem_assoc name t.inputs then
+  if Hashtbl.mem t.input_index name then
     invalid_arg (Printf.sprintf "Netlist.add_input: duplicate input %s" name);
   let arr = match arrival with None -> Array.make width 0.0 | Some a -> a in
   let pr = match prob with None -> Array.make width 0.5 | Some p -> p in
@@ -75,6 +81,7 @@ let add_input ?arrival ?prob t name ~width =
           ~arrival:arr.(bit) ~prob:pr.(bit))
   in
   t.inputs <- (name, nets) :: t.inputs;
+  Hashtbl.replace t.input_index name nets;
   nets
 
 let const t b =
@@ -251,15 +258,17 @@ let fa t a b c =
     outs.(0), outs.(1)
 
 let set_output t name nets =
-  if List.mem_assoc name t.outputs then
+  if Hashtbl.mem t.output_index name then
     invalid_arg (Printf.sprintf "Netlist.set_output: duplicate output %s" name);
-  t.outputs <- (name, Array.copy nets) :: t.outputs
+  let nets = Array.copy nets in
+  t.outputs <- (name, nets) :: t.outputs;
+  Hashtbl.replace t.output_index name nets
 
 let inputs t = List.rev t.inputs
 let outputs t = List.rev t.outputs
 
 let find_output t name =
-  match List.assoc_opt name t.outputs with
+  match Hashtbl.find_opt t.output_index name with
   | Some nets -> nets
   | None -> invalid_arg (Printf.sprintf "Netlist.find_output: no output %s" name)
 

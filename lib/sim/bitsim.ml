@@ -1,0 +1,104 @@
+open Dp_netlist
+
+let lane_mask lanes =
+  if lanes >= 64 then Int64.minus_one
+  else Int64.sub (Int64.shift_left 1L lanes) 1L
+
+(* SWAR popcount; OCaml has no Int64 popcount primitive. *)
+let popcount x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    add
+      (logand x 0x3333333333333333L)
+      (logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let cell_outputs (c : Netlist.cell) (values : int64 array) =
+  let v i = values.(c.inputs.(i)) in
+  match c.kind with
+  | Dp_tech.Cell_kind.Fa ->
+    let a = v 0 and b = v 1 and cin = v 2 in
+    let sum = Int64.logxor (Int64.logxor a b) cin in
+    let carry =
+      Int64.logor (Int64.logand a b)
+        (Int64.logor (Int64.logand a cin) (Int64.logand b cin))
+    in
+    [| sum; carry |]
+  | Dp_tech.Cell_kind.Ha ->
+    let a = v 0 and b = v 1 in
+    [| Int64.logxor a b; Int64.logand a b |]
+  | Dp_tech.Cell_kind.And_n n ->
+    let acc = ref Int64.minus_one in
+    for i = 0 to n - 1 do
+      acc := Int64.logand !acc (v i)
+    done;
+    [| !acc |]
+  | Dp_tech.Cell_kind.Or_n n ->
+    let acc = ref 0L in
+    for i = 0 to n - 1 do
+      acc := Int64.logor !acc (v i)
+    done;
+    [| !acc |]
+  | Dp_tech.Cell_kind.Xor_n n ->
+    let acc = ref 0L in
+    for i = 0 to n - 1 do
+      acc := Int64.logxor !acc (v i)
+    done;
+    [| !acc |]
+  | Dp_tech.Cell_kind.Not -> [| Int64.lognot (v 0) |]
+  | Dp_tech.Cell_kind.Buf -> [| v 0 |]
+
+let run netlist ~assign =
+  let n = Netlist.net_count netlist in
+  let values = Array.make n 0L in
+  (* Net ids are topologically ordered (see [Simulator.run]); one forward
+     pass evaluates all 64 lanes of every net. *)
+  for net = 0 to n - 1 do
+    match Netlist.driver netlist net with
+    | Netlist.From_input { var; bit } -> values.(net) <- assign var bit
+    | Netlist.From_const b ->
+      values.(net) <- (if b then Int64.minus_one else 0L)
+    | Netlist.From_cell { cell; port } ->
+      let c = Netlist.cell netlist cell in
+      values.(net) <- (cell_outputs c values).(port)
+  done;
+  values
+
+let run_lanes netlist ~lanes ~assign =
+  if lanes < 1 || lanes > 64 then
+    invalid_arg "Bitsim.run_lanes: lanes must be within [1, 64]";
+  let packed = Hashtbl.create 16 in
+  List.iter
+    (fun (var, nets) ->
+      let vals = Array.make lanes 0 in
+      for k = 0 to lanes - 1 do
+        vals.(k) <- assign k var
+      done;
+      let words =
+        Array.init (Array.length nets) (fun bit ->
+            let w = ref 0L in
+            for k = 0 to lanes - 1 do
+              if (vals.(k) lsr bit) land 1 = 1 then
+                w := Int64.logor !w (Int64.shift_left 1L k)
+            done;
+            !w)
+      in
+      Hashtbl.replace packed var words)
+    (Netlist.inputs netlist);
+  run netlist ~assign:(fun var bit -> (Hashtbl.find packed var).(bit))
+
+let lane_bit values net ~lane =
+  Int64.logand (Int64.shift_right_logical values.(net) lane) 1L <> 0L
+
+let bus_value values nets ~lane =
+  let acc = ref 0 in
+  Array.iteri
+    (fun bit net -> if lane_bit values net ~lane then acc := !acc lor (1 lsl bit))
+    nets;
+  !acc
+
+let output_value netlist values ~lane name =
+  bus_value values (Netlist.find_output netlist name) ~lane

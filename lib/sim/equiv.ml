@@ -36,20 +36,57 @@ let input_widths netlist =
 let random_assignment rng widths =
   List.map (fun (name, w) -> name, Random.State.int rng (1 lsl w)) widths
 
+(* Batched differential core: simulate up to 64 assignments per netlist
+   sweep via [Bitsim], then compare each lane (in order, so the reported
+   mismatch is the same first failure the scalar loop would find) against
+   the expression evaluator.  [next i] produces the [i]-th assignment. *)
+let check_batched ?(signed = no_signed) netlist expr ~output ~width ~total next =
+  let widths = input_widths netlist in
+  let out_nets = Netlist.find_output netlist output in
+  let rec block start =
+    if start >= total then Ok ()
+    else begin
+      let lanes = min 64 (total - start) in
+      let alists = Array.make lanes [] in
+      for k = 0 to lanes - 1 do
+        alists.(k) <- next (start + k)
+      done;
+      let values =
+        Bitsim.run_lanes netlist ~lanes
+          ~assign:(fun lane x -> List.assoc x alists.(lane))
+      in
+      let rec lane k =
+        if k >= lanes then block (start + lanes)
+        else begin
+          let alist = alists.(k) in
+          let interpret x =
+            let raw = List.assoc x alist in
+            if signed x then
+              Dp_expr.Eval.signed_of_pattern ~width:(List.assoc x widths) raw
+            else raw
+          in
+          let expected = Dp_expr.Eval.eval_mod ~width interpret expr in
+          let actual = Bitsim.bus_value values out_nets ~lane:k in
+          if expected = actual then lane (k + 1)
+          else Error { assignment = alist; expected; actual }
+        end
+      in
+      lane 0
+    end
+  in
+  block 0
+
 let check_random ?(seed = 0xC5A) ?signed ~trials netlist expr ~output ~width =
   let rng = Random.State.make [| seed |] in
   let widths = input_widths netlist in
-  let rec go i =
-    if i >= trials then Ok ()
-    else
-      match
-        check_assignment ?signed netlist expr ~output ~width
-          (random_assignment rng widths)
-      with
-      | Ok () -> go (i + 1)
-      | Error m -> Error m
-  in
-  go 0
+  (* Draw every assignment up front, in the same order the scalar loop
+     drew them, so seeds keep reproducing the same vector streams. *)
+  let alists = Array.make (max trials 1) [] in
+  for i = 0 to trials - 1 do
+    alists.(i) <- random_assignment rng widths
+  done;
+  check_batched ?signed netlist expr ~output ~width ~total:trials (fun i ->
+      alists.(i))
 
 let check_exhaustive ?signed netlist expr ~output ~width =
   let widths = input_widths netlist in
@@ -60,13 +97,5 @@ let check_exhaustive ?signed netlist expr ~output ~width =
     | [] -> []
     | (name, w) :: rest -> (name, code land Dp_expr.Eval.mask w) :: split (code lsr w) rest
   in
-  let rec go code =
-    if code >= 1 lsl total_bits then Ok ()
-    else
-      match
-        check_assignment ?signed netlist expr ~output ~width (split code widths)
-      with
-      | Ok () -> go (code + 1)
-      | Error m -> Error m
-  in
-  go 0
+  check_batched ?signed netlist expr ~output ~width ~total:(1 lsl total_bits)
+    (fun code -> split code widths)

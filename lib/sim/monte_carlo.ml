@@ -20,18 +20,49 @@ let random_vector rng netlist =
     (Netlist.inputs netlist);
   fun name -> Hashtbl.find values name
 
+(* Both estimators stream their vectors through [Bitsim] 64 lanes at a
+   time.  The per-vector random draws happen in exactly the order the
+   scalar loop made them, so a given seed still produces bit-identical
+   rates; only the netlist sweeps are 64-wide. *)
+
+let lane_assigns rng netlist lanes =
+  let assigns = Array.make lanes (fun (_ : string) -> 0) in
+  for k = 0 to lanes - 1 do
+    assigns.(k) <- random_vector rng netlist
+  done;
+  assigns
+
 let toggle_rates ?(seed = 0x70661e) ~vectors netlist =
   if vectors < 2 then invalid_arg "Monte_carlo.toggle_rates: need >= 2 vectors";
   let rng = Random.State.make [| seed |] in
   let n = Netlist.net_count netlist in
   let toggles = Array.make n 0 in
-  let prev = ref (Simulator.run netlist ~assign:(random_vector rng netlist)) in
-  for _ = 2 to vectors do
-    let cur = Simulator.run netlist ~assign:(random_vector rng netlist) in
+  let prev_bit = Array.make n false in
+  let done_ = ref 0 in
+  while !done_ < vectors do
+    let lanes = min 64 (vectors - !done_) in
+    let assigns = lane_assigns rng netlist lanes in
+    let values =
+      Bitsim.run_lanes netlist ~lanes ~assign:(fun k name -> assigns.(k) name)
+    in
+    (* Toggles between lanes k and k+1 are the set bits of w lxor (w >> 1)
+       below lane [lanes-1]; the block boundary contributes one more when
+       the previous block's last lane differs from lane 0. *)
+    let internal = Bitsim.lane_mask (lanes - 1) in
+    let defined = Bitsim.lane_mask lanes in
     for net = 0 to n - 1 do
-      if cur.(net) <> !prev.(net) then toggles.(net) <- toggles.(net) + 1
+      let w = Int64.logand values.(net) defined in
+      let t =
+        Bitsim.popcount
+          (Int64.logand (Int64.logxor w (Int64.shift_right_logical w 1)) internal)
+      in
+      let first = Int64.logand w 1L <> 0L in
+      let boundary = if !done_ > 0 && prev_bit.(net) <> first then 1 else 0 in
+      toggles.(net) <- toggles.(net) + t + boundary;
+      prev_bit.(net) <-
+        Int64.logand (Int64.shift_right_logical w (lanes - 1)) 1L <> 0L
     done;
-    prev := cur
+    done_ := !done_ + lanes
   done;
   {
     vectors;
@@ -44,11 +75,19 @@ let measured_prob ?(seed = 0x70661e) ~vectors netlist =
   let rng = Random.State.make [| seed |] in
   let n = Netlist.net_count netlist in
   let ones = Array.make n 0 in
-  for _ = 1 to vectors do
-    let values = Simulator.run netlist ~assign:(random_vector rng netlist) in
+  let done_ = ref 0 in
+  while !done_ < vectors do
+    let lanes = min 64 (vectors - !done_) in
+    let assigns = lane_assigns rng netlist lanes in
+    let values =
+      Bitsim.run_lanes netlist ~lanes ~assign:(fun k name -> assigns.(k) name)
+    in
+    let defined = Bitsim.lane_mask lanes in
     for net = 0 to n - 1 do
-      if values.(net) then ones.(net) <- ones.(net) + 1
-    done
+      ones.(net) <-
+        ones.(net) + Bitsim.popcount (Int64.logand values.(net) defined)
+    done;
+    done_ := !done_ + lanes
   done;
   Array.map (fun o -> float_of_int o /. float_of_int vectors) ones
 

@@ -22,5 +22,6 @@ let () =
       ("verify", Test_verify.suite);
       ("fuzz", Test_fuzz.suite);
       ("properties", Test_props.suite);
+      ("perf", Test_perf.suite);
       ("properties2", Test_props2.suite);
     ]

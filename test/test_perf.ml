@@ -1,0 +1,477 @@
+(* Tests for the performance PR: the heap-based SC_T/SC_LP must make
+   byte-identical decisions to the retained sort-per-step references, the
+   64-lane bit-parallel simulator must agree with the scalar simulator and
+   the bignum reference, and the supporting structures (Pqueue, the
+   netlist name index, the one-pass FA_random selection) keep their
+   contracts. *)
+
+open Dp_netlist
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity of two netlists: every net (driver, arrival,
+   probability), every cell (kind, inputs), and the declared busses must
+   match exactly.  Floats are compared for equality on purpose — the two
+   implementations are supposed to perform the very same operations in
+   the very same order. *)
+
+let same_driver a b =
+  match (a, b) with
+  | Netlist.From_input x, Netlist.From_input y -> x.var = y.var && x.bit = y.bit
+  | Netlist.From_const x, Netlist.From_const y -> x = y
+  | Netlist.From_cell x, Netlist.From_cell y ->
+    x.cell = y.cell && x.port = y.port
+  | _ -> false
+
+let explain_netlist_diff a b =
+  if Netlist.net_count a <> Netlist.net_count b then
+    Some
+      (Printf.sprintf "net counts differ: %d vs %d" (Netlist.net_count a)
+         (Netlist.net_count b))
+  else if Netlist.cell_count a <> Netlist.cell_count b then
+    Some
+      (Printf.sprintf "cell counts differ: %d vs %d" (Netlist.cell_count a)
+         (Netlist.cell_count b))
+  else begin
+    let diff = ref None in
+    for net = Netlist.net_count a - 1 downto 0 do
+      if not (same_driver (Netlist.driver a net) (Netlist.driver b net)) then
+        diff := Some (Printf.sprintf "net %d: drivers differ" net)
+      else if Netlist.arrival a net <> Netlist.arrival b net then
+        diff :=
+          Some
+            (Printf.sprintf "net %d: arrival %g vs %g" net
+               (Netlist.arrival a net) (Netlist.arrival b net))
+      else if Netlist.prob a net <> Netlist.prob b net then
+        diff :=
+          Some
+            (Printf.sprintf "net %d: prob %g vs %g" net (Netlist.prob a net)
+               (Netlist.prob b net))
+    done;
+    for id = Netlist.cell_count a - 1 downto 0 do
+      let ca = Netlist.cell a id and cb = Netlist.cell b id in
+      if ca.kind <> cb.kind || ca.inputs <> cb.inputs then
+        diff := Some (Printf.sprintf "cell %d differs" id)
+    done;
+    if Netlist.inputs a <> Netlist.inputs b then diff := Some "inputs differ";
+    if Netlist.outputs a <> Netlist.outputs b then diff := Some "outputs differ";
+    !diff
+  end
+
+let check_identical what a b =
+  match explain_netlist_diff a b with
+  | None -> ()
+  | Some why -> Alcotest.failf "%s: netlists diverge (%s)" what why
+
+(* ------------------------------------------------------------------ *)
+(* Decision identity on random single columns, across every tie-break and
+   three-policy.  Arrivals come from a tiny integer set and probabilities
+   from a tiny symmetric set (|q| of 0.2 and 0.8 coincide) so ties — the
+   only place a heap could legally reorder — occur constantly. *)
+
+let gen_column_spec =
+  QCheck2.Gen.(
+    list_size (int_range 1 40)
+      (pair
+         (map float_of_int (int_range 0 4))
+         (oneofl [ 0.05; 0.2; 0.5; 0.8; 0.95 ])))
+
+let print_column_spec spec =
+  String.concat "; "
+    (List.map (fun (a, p) -> Printf.sprintf "@%g p%g" a p) spec)
+
+let build_column netlist spec =
+  let arrival = Array.of_list (List.map fst spec) in
+  let prob = Array.of_list (List.map snd spec) in
+  Array.to_list
+    (Netlist.add_input netlist "col" ~width:(List.length spec) ~arrival ~prob)
+
+let sc_t_combos =
+  [
+    ("arrival_only/ha", Dp_core.Sc_t.Arrival_only, Dp_core.Sc_t.Ha_finish);
+    ("arrival_only/fa3", Dp_core.Sc_t.Arrival_only, Dp_core.Sc_t.Fa_finish);
+    ("prefer_high_q/ha", Dp_core.Sc_t.Prefer_high_q, Dp_core.Sc_t.Ha_finish);
+    ("prefer_high_q/fa3", Dp_core.Sc_t.Prefer_high_q, Dp_core.Sc_t.Fa_finish);
+  ]
+
+let sc_lp_combos =
+  [
+    ("q_only", Dp_core.Sc_lp.Q_only);
+    ("prefer_early", Dp_core.Sc_lp.Prefer_early);
+  ]
+
+let sc_t_column_identity spec =
+  List.iter
+    (fun (label, tie_break, three_policy) ->
+      let nl_heap = mk_netlist () in
+      let kept_h, carries_h =
+        Dp_core.Sc_t.reduce_column ~tie_break ~three_policy nl_heap
+          (build_column nl_heap spec)
+      in
+      let nl_ref = mk_netlist () in
+      let kept_r, carries_r =
+        Dp_core.Sc_t.reduce_column_reference ~tie_break ~three_policy nl_ref
+          (build_column nl_ref spec)
+      in
+      if kept_h <> kept_r then
+        Alcotest.failf "sc_t %s: kept lists differ" label;
+      if carries_h <> carries_r then
+        Alcotest.failf "sc_t %s: carry lists differ" label;
+      check_identical ("sc_t " ^ label) nl_heap nl_ref)
+    sc_t_combos;
+  true
+
+let sc_lp_column_identity spec =
+  List.iter
+    (fun (label, tie_break) ->
+      let nl_heap = mk_netlist () in
+      let kept_h, carries_h =
+        Dp_core.Sc_lp.reduce_column ~tie_break nl_heap
+          (build_column nl_heap spec)
+      in
+      let nl_ref = mk_netlist () in
+      let kept_r, carries_r =
+        Dp_core.Sc_lp.reduce_column_reference ~tie_break nl_ref
+          (build_column nl_ref spec)
+      in
+      if kept_h <> kept_r then
+        Alcotest.failf "sc_lp %s: kept lists differ" label;
+      if carries_h <> carries_r then
+        Alcotest.failf "sc_lp %s: carry lists differ" label;
+      check_identical ("sc_lp " ^ label) nl_heap nl_ref)
+    sc_lp_combos;
+  true
+
+let mk_prop name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:150 ~print:print_column_spec
+       gen_column_spec prop)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-matrix identity on fuzz-generated expressions: FA_AOT/FA_ALP
+   (heap inside) versus an explicit sweep with the reference reducers,
+   over the same lowered matrix. *)
+
+let fuzz_cases n =
+  let rng = Random.State.make [| 0x9a7e51 |] in
+  List.init n (fun i -> Dp_fuzz.Gen.case rng i)
+
+let matrix_identity () =
+  List.iter
+    (fun case_ ->
+      let case_ = Dp_fuzz.Case.drop_unused_vars case_ in
+      let env = Dp_fuzz.Case.env case_ in
+      List.iter
+        (fun (port, expr, width) ->
+          List.iter
+            (fun (label, tie_break, three_policy) ->
+              let nl_heap = mk_netlist () in
+              let m = Dp_bitmatrix.Lower.lower nl_heap env expr ~width in
+              Dp_core.Fa_aot.allocate ~tie_break ~three_policy nl_heap m;
+              let nl_ref = mk_netlist () in
+              let m = Dp_bitmatrix.Lower.lower nl_ref env expr ~width in
+              Dp_core.Reduce.sweep nl_ref m ~reducer:(fun nl col ->
+                  Dp_core.Sc_t.reduce_column_reference ~tie_break ~three_policy
+                    nl col);
+              check_identical
+                (Printf.sprintf "fa_aot %s on %s" label port)
+                nl_heap nl_ref)
+            sc_t_combos;
+          List.iter
+            (fun (label, tie_break) ->
+              let nl_heap = mk_netlist () in
+              let m = Dp_bitmatrix.Lower.lower nl_heap env expr ~width in
+              Dp_core.Fa_alp.allocate ~tie_break nl_heap m;
+              let nl_ref = mk_netlist () in
+              let m = Dp_bitmatrix.Lower.lower nl_ref env expr ~width in
+              Dp_core.Reduce.sweep nl_ref m ~reducer:(fun nl col ->
+                  Dp_core.Sc_lp.reduce_column_reference ~tie_break nl col);
+              check_identical
+                (Printf.sprintf "fa_alp %s on %s" label port)
+                nl_heap nl_ref)
+            sc_lp_combos)
+        case_.ports)
+    (fuzz_cases 25)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-parallel simulation: every lane of [Bitsim.run_lanes] must equal a
+   scalar [Simulator.run] of the same assignment, net for net, and the
+   declared outputs must match the bignum reference evaluation. *)
+
+let unsigned_cases n =
+  let config =
+    { Dp_fuzz.Gen.default_config with allow_signed = false; multi_every = 0 }
+  in
+  let rng = Random.State.make [| 0xb175 |] in
+  List.init n (fun i -> Dp_fuzz.Gen.case ~config rng i)
+
+let bitsim_matches_scalar () =
+  let rng = Random.State.make [| 0x51d |] in
+  List.iter
+    (fun case_ ->
+      match Dp_fuzz.Case.single_port case_ with
+      | None -> ()
+      | Some (expr, width) ->
+        let env = Dp_fuzz.Case.env (Dp_fuzz.Case.drop_unused_vars case_) in
+        let r = Dp_flow.Synth.run Dp_flow.Strategy.Fa_aot env expr ~width in
+        let netlist = r.netlist in
+        let widths =
+          List.map
+            (fun (name, nets) -> (name, Array.length nets))
+            (Netlist.inputs netlist)
+        in
+        let lanes = 1 + Random.State.int rng 64 in
+        let alists =
+          Array.init lanes (fun _ ->
+              List.map
+                (fun (name, w) -> (name, Random.State.int rng (1 lsl w)))
+                widths)
+        in
+        let values =
+          Dp_sim.Bitsim.run_lanes netlist ~lanes ~assign:(fun lane name ->
+              List.assoc name alists.(lane))
+        in
+        for lane = 0 to lanes - 1 do
+          let scalar =
+            Dp_sim.Simulator.run netlist ~assign:(fun name ->
+                List.assoc name alists.(lane))
+          in
+          Array.iteri
+            (fun net v ->
+              if Dp_sim.Bitsim.lane_bit values net ~lane <> v then
+                Alcotest.failf "net %d, lane %d/%d: bitsim disagrees" net lane
+                  lanes)
+            scalar;
+          let packed =
+            Dp_sim.Bitsim.output_value netlist values ~lane r.output
+          in
+          let big =
+            Dp_fuzz.Bigval.eval
+              (fun x -> Dp_fuzz.Bigval.of_int (List.assoc x alists.(lane)))
+              expr
+          in
+          checki "output vs bignum"
+            (Dp_fuzz.Bigval.to_int_mod ~width big)
+            packed
+        done)
+    (unsigned_cases 15)
+
+(* The batched equivalence checker and the Monte-Carlo estimators went
+   bit-parallel; their results for a fixed seed must equal a scalar
+   recomputation that replays the identical random draws. *)
+
+let equiv_batched_matches_scalar () =
+  List.iter
+    (fun case_ ->
+      match Dp_fuzz.Case.single_port case_ with
+      | None -> ()
+      | Some (expr, width) ->
+        let env = Dp_fuzz.Case.env (Dp_fuzz.Case.drop_unused_vars case_) in
+        let r = Dp_flow.Synth.run Dp_flow.Strategy.Fa_alp env expr ~width in
+        (match
+           Dp_sim.Equiv.check_random ~seed:0xE0 ~trials:150 r.netlist expr
+             ~output:r.output ~width
+         with
+        | Ok () -> ()
+        | Error m ->
+          Alcotest.failf "batched check_random found a false mismatch: %a"
+            Dp_sim.Equiv.pp_mismatch m);
+        (* Scalar replay of the same seeded vector stream. *)
+        let rng = Random.State.make [| 0xE0 |] in
+        let widths =
+          List.map
+            (fun (name, nets) -> (name, Array.length nets))
+            (Netlist.inputs r.netlist)
+        in
+        for _ = 1 to 150 do
+          let alist =
+            List.map
+              (fun (name, w) -> (name, Random.State.int rng (1 lsl w)))
+              widths
+          in
+          match
+            Dp_sim.Equiv.check_assignment r.netlist expr ~output:r.output
+              ~width alist
+          with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.failf "scalar replay disagrees: %a" Dp_sim.Equiv.pp_mismatch
+              m
+        done)
+    (unsigned_cases 8)
+
+let scalar_toggle_rates ~seed ~vectors netlist =
+  (* Replays [Monte_carlo]'s exact draw order (inputs in declaration
+     order, bits LSB-first) through the scalar simulator. *)
+  let rng = Random.State.make [| seed |] in
+  let n = Netlist.net_count netlist in
+  let toggles = Array.make n 0 in
+  let ones = Array.make n 0 in
+  let prev = Array.make n false in
+  for v = 0 to vectors - 1 do
+    let values = Hashtbl.create 16 in
+    List.iter
+      (fun (name, nets) ->
+        let value = ref 0 in
+        Array.iteri
+          (fun bit net ->
+            if Random.State.float rng 1.0 < Netlist.prob netlist net then
+              value := !value lor (1 lsl bit))
+          nets;
+        Hashtbl.replace values name !value)
+      (Netlist.inputs netlist);
+    let sim =
+      Dp_sim.Simulator.run netlist ~assign:(fun name -> Hashtbl.find values name)
+    in
+    Array.iteri
+      (fun net bit ->
+        if bit then ones.(net) <- ones.(net) + 1;
+        if v > 0 && bit <> prev.(net) then toggles.(net) <- toggles.(net) + 1;
+        prev.(net) <- bit)
+      sim
+  done;
+  ( Array.map (fun t -> float_of_int t /. float_of_int (vectors - 1)) toggles,
+    Array.map (fun o -> float_of_int o /. float_of_int vectors) ones )
+
+let monte_carlo_matches_scalar () =
+  let env = Dp_expr.Env.of_widths [ ("a", 5); ("b", 4); ("c", 3) ] in
+  let expr = Dp_expr.Parse.expr "a*b + 3*c - b" in
+  let r = Dp_flow.Synth.run Dp_flow.Strategy.Fa_alp env expr ~width:11 in
+  (* 150 vectors spans two 64-lane blocks plus a 22-lane tail, covering
+     the partial-block masking and the block-boundary toggle. *)
+  let vectors = 150 and seed = 0x3c4 in
+  let got = Dp_sim.Monte_carlo.toggle_rates ~seed ~vectors r.netlist in
+  let probs = Dp_sim.Monte_carlo.measured_prob ~seed ~vectors r.netlist in
+  let want_rates, want_probs = scalar_toggle_rates ~seed ~vectors r.netlist in
+  checki "vector count" vectors got.vectors;
+  Array.iteri
+    (fun net want ->
+      if got.toggle_rate.(net) <> want then
+        Alcotest.failf "net %d: toggle rate %g, scalar replay says %g" net
+          got.toggle_rate.(net) want)
+    want_rates;
+  Array.iteri
+    (fun net want ->
+      if probs.(net) <> want then
+        Alcotest.failf "net %d: measured prob %g, scalar replay says %g" net
+          probs.(net) want)
+    want_probs
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue: drains ascending under the comparator, pops track a sorted
+   model under arbitrary push/pop interleavings, and errors on empty. *)
+
+let pqueue_drain_sorts =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"pqueue drain = sort" ~count:200
+       ~print:QCheck2.Print.(list int)
+       QCheck2.Gen.(list (int_range (-50) 50))
+       (fun xs ->
+         let q = Dp_core.Pqueue.of_list ~cmp:Int.compare ~dummy:0 xs in
+         Dp_core.Pqueue.drain q = List.sort Int.compare xs))
+
+let pqueue_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"pqueue pop tracks sorted model" ~count:200
+       ~print:QCheck2.Print.(list (option int))
+       (* [Some x] pushes x, [None] pops (ignored when empty). *)
+       QCheck2.Gen.(list (option (int_range (-50) 50)))
+       (fun ops ->
+         let q = Dp_core.Pqueue.create ~cmp:Int.compare ~dummy:0 in
+         let model = ref [] in
+         List.for_all
+           (fun op ->
+             match op with
+             | Some x ->
+               Dp_core.Pqueue.push q x;
+               model := List.sort Int.compare (x :: !model);
+               Dp_core.Pqueue.length q = List.length !model
+             | None -> (
+               match !model with
+               | [] -> Dp_core.Pqueue.is_empty q
+               | m :: rest ->
+                 model := rest;
+                 Dp_core.Pqueue.pop q = m))
+           ops))
+
+let pqueue_empty_pop () =
+  let q = Dp_core.Pqueue.create ~cmp:Int.compare ~dummy:0 in
+  checkb "fresh queue is empty" true (Dp_core.Pqueue.is_empty q);
+  match Dp_core.Pqueue.pop q with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "pop on empty returned %d" v
+
+(* ------------------------------------------------------------------ *)
+(* Netlist name index: lookups stay correct, duplicates still raise, and
+   declaration order survives the hashtable. *)
+
+let netlist_name_index () =
+  let netlist = mk_netlist () in
+  let names = List.init 40 (fun i -> Printf.sprintf "in%02d" i) in
+  List.iter
+    (fun name -> ignore (Netlist.add_input netlist name ~width:2))
+    names;
+  check
+    Alcotest.(list string)
+    "inputs keep declaration order" names
+    (List.map fst (Netlist.inputs netlist));
+  List.iteri
+    (fun i name ->
+      let nets = Netlist.add_input netlist (name ^ "_chk") ~width:1 in
+      Netlist.set_output netlist (Printf.sprintf "out%02d" i) nets)
+    names;
+  List.iteri
+    (fun i _ ->
+      let nets = Netlist.find_output netlist (Printf.sprintf "out%02d" i) in
+      checki (Printf.sprintf "out%02d width" i) 1 (Array.length nets))
+    names;
+  check
+    Alcotest.(list string)
+    "outputs keep declaration order"
+    (List.init 40 (fun i -> Printf.sprintf "out%02d" i))
+    (List.map fst (Netlist.outputs netlist));
+  (match Netlist.add_input netlist "in00" ~width:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate input accepted");
+  match Netlist.set_output netlist "out00" (Netlist.find_output netlist "out01")
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate output accepted"
+
+(* FA_random's one-pass selection: still a valid reduction (at most two
+   kept per column) and still deterministic under a fixed seed. *)
+
+let sc_random_deterministic () =
+  let run seed =
+    let rng = Random.State.make [| seed |] in
+    let netlist = mk_netlist () in
+    let col =
+      build_column netlist
+        (List.init 23 (fun i -> (float_of_int (i mod 5), 0.5)))
+    in
+    let kept, carries = Dp_core.Sc_random.reduce_column rng netlist col in
+    (kept, carries, netlist)
+  in
+  let kept1, carries1, nl1 = run 7 in
+  let kept2, carries2, nl2 = run 7 in
+  checkb "kept count <= 2" true (List.length kept1 <= 2);
+  (* 23 addends: ten FAs down to three, one HA to finish — 11 carries. *)
+  checki "carry count" 11 (List.length carries1);
+  check Alcotest.(list int) "same seed, same kept" kept1 kept2;
+  check Alcotest.(list int) "same seed, same carries" carries1 carries2;
+  check_identical "sc_random determinism" nl1 nl2
+
+let suite =
+  [
+    mk_prop "sc_t heap = reference on random columns" sc_t_column_identity;
+    mk_prop "sc_lp heap = reference on random columns" sc_lp_column_identity;
+    case "fa_aot/fa_alp heap = reference on fuzzed matrices" matrix_identity;
+    case "bitsim lanes = scalar simulator and bignum" bitsim_matches_scalar;
+    case "batched equiv = scalar replay" equiv_batched_matches_scalar;
+    case "monte carlo bit-parallel = scalar replay" monte_carlo_matches_scalar;
+    pqueue_drain_sorts;
+    pqueue_model;
+    case "pqueue empty pop raises" pqueue_empty_pop;
+    case "netlist name index" netlist_name_index;
+    case "sc_random one-pass selection" sc_random_deterministic;
+  ]
