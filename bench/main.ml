@@ -657,6 +657,36 @@ let bitsim_64vec () =
     (Dp_sim.Bitsim.run_lanes netlist ~lanes:64 ~assign:(fun lane name ->
          sim_assign widths lane name))
 
+(* Serving-layer batch latency: the same four-design batch served
+   through [Dp_cache.Serve] with a pre-warmed store (every request hits)
+   vs with no store at all (every request synthesizes).  The gap is the
+   price a cold cache pays and the win a warm one buys. *)
+let serve_requests =
+  lazy
+    (List.map
+       (fun (d : Dp_designs.Design.t) ->
+         Dp_cache.Serve.request ~width:(Some d.width) d.env d.expr)
+       [
+         Dp_designs.Catalog.x3; Dp_designs.Catalog.poly_mixed;
+         Dp_designs.Catalog.iir; Dp_designs.Catalog.serial_adapter;
+       ])
+
+let warm_store =
+  lazy
+    (let store = Dp_cache.Store.create () in
+     List.iter
+       (fun r -> ignore (Dp_cache.Serve.run ~store r))
+       (Lazy.force serve_requests);
+     store)
+
+let serve_batch impl () =
+  let reqs = Lazy.force serve_requests in
+  match impl with
+  | `Cache_on ->
+    let store = Lazy.force warm_store in
+    List.iter (fun r -> ignore (Dp_cache.Serve.run ~store r)) reqs
+  | `Cache_off -> List.iter (fun r -> ignore (Dp_cache.Serve.run r)) reqs
+
 (* Cell counts and matrix heights of the structures above, for the JSON
    baseline (one construction per case, outside the timed loop). *)
 let speed_case_meta () =
@@ -693,12 +723,27 @@ let speed_case_meta () =
         ("cells", Json.Int (Dp_netlist.Netlist.cell_count netlist));
       ]
   in
+  let serve_case name =
+    let store = Dp_cache.Store.create () in
+    let reqs = Lazy.force serve_requests in
+    List.iter (fun r -> ignore (Dp_cache.Serve.run ~store r)) reqs;
+    List.iter (fun r -> ignore (Dp_cache.Serve.run ~store r)) reqs;
+    let s = Dp_cache.Store.stats store in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("requests", Json.Int (2 * List.length reqs));
+        ("hits", Json.Int s.hits);
+        ("misses", Json.Int s.misses);
+      ]
+  in
   [
     column_case "reduce/sc_t_n64" 64 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
     column_case "reduce/sc_t_n256" 256 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
     column_case "reduce/sc_lp_n256" 256 (fun nl c -> ignore (Dp_core.Sc_lp.reduce_column nl c));
     mult_case "reduce/fa_aot_mult24" 24;
     sim_case "sim/idct_fa_aot";
+    serve_case "serve/batch_4designs";
   ]
 
 let bechamel_tests () =
@@ -768,6 +813,12 @@ let bechamel_tests () =
          sweep of the same netlist. *)
       Test.make ~name:"sim/scalar_64vec_idct" (Staged.stage scalar_64vec);
       Test.make ~name:"sim/bitsim_64vec_idct" (Staged.stage bitsim_64vec);
+      (* The same four-design batch through the serving core: warm cache
+         (all hits) vs no cache (all fresh synthesis). *)
+      Test.make ~name:"serve/batch_cache_on"
+        (Staged.stage (serve_batch `Cache_on));
+      Test.make ~name:"serve/batch_cache_off"
+        (Staged.stage (serve_batch `Cache_off));
     ]
 
 let speed () =

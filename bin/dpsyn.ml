@@ -204,6 +204,15 @@ let check_level_arg =
            warn (report lint findings, proceed), strict (fail on any \
            warning-or-worse finding).")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print one machine-readable dpsyn-result/1 record per synthesized \
+           netlist (the same record the server protocol returns) instead of \
+           the human-readable report.  See doc/protocol.md.")
+
 (* ------------------------------------------------------------------ *)
 (* Shared actions *)
 
@@ -221,6 +230,47 @@ let env_of_vars expr vars =
 let fail_diag d =
   Fmt.epr "error: %a@." Dp_diag.Diag.pp d;
   exit 3
+
+let fail_diag_json d =
+  prerr_endline
+    (Dp_server.Json.to_string
+       (Dp_server.Json.Obj [ ("error", Dp_server.Protocol.diag_to_json d) ]));
+  exit 3
+
+(* CLI -v specs carry one uniform arrival/probability per variable. *)
+let var_specs_of_vars vars =
+  List.map
+    (fun (name, width, signed, arrival, prob) ->
+      Dp_server.Protocol.var_spec ~signed
+        ~arrival:(Array.make width arrival)
+        ~prob:(Array.make width prob) name ~width)
+    vars
+
+let var_specs_of_env env =
+  List.map
+    (fun (name, (v : Dp_expr.Env.var_info)) ->
+      Dp_server.Protocol.var_spec ~signed:v.signed ~arrival:v.arrival
+        ~prob:v.prob name ~width:v.width)
+    (Dp_expr.Env.bindings env)
+
+(* The --json path goes through the same cache-layer serving core as the
+   server, so the record (digest included) matches what [dpsyn serve]
+   returns for the same request. *)
+let synth_record ?(emit_verilog = false) ~tech ~vars ~width ~strategy ~adder
+    ~lower_config ~check_level expr =
+  let ( let* ) r k = match r with Ok v -> k v | Error d -> fail_diag_json d in
+  let* p =
+    Dp_server.Protocol.synth_params ~vars ~width ~strategy ~adder
+      ~lower_config ~check_level ~emit_verilog
+      (Dp_expr.Ast.to_string expr)
+  in
+  let* r = Dp_server.Protocol.serve_request ~tech p in
+  let* o = Dp_cache.Serve.run r in
+  (p, o)
+
+let print_record (p, o) =
+  print_endline
+    (Dp_server.Json.to_string (Dp_server.Protocol.result_record p o))
 
 let report_result (r : Dp_flow.Synth.result) ~env ~check ~cells ~verilog ~dot
     ?testbench ?pipeline expr =
@@ -272,21 +322,36 @@ let report_result (r : Dp_flow.Synth.result) ~env ~check ~cells ~verilog ~dot
 
 let synth_cmd =
   let action expr vars width strategy tech adder recoding multiplier_style
-      verilog dot testbench pipeline check cells check_level =
-    match env_of_vars expr vars with
-    | Error msg ->
-      Fmt.epr "error: %s (bind it with -v)@." msg;
-      exit 1
-    | Ok env -> (
-      match
-        Dp_flow.Synth.run_res ~tech ~adder
+      verilog dot testbench pipeline check cells check_level json =
+    if json then begin
+      let ((_, o) as record) =
+        synth_record ~tech ~vars:(var_specs_of_vars vars) ~width ~strategy
+          ~adder
           ~lower_config:{ recoding; multiplier_style }
-          ?width ~check_level strategy env expr
-      with
-      | Error d -> fail_diag d
-      | Ok r ->
-        report_result r ~env ~check ~cells ~verilog ~dot ?testbench ?pipeline
-          expr)
+          ~check_level expr
+      in
+      (match verilog with
+      | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc o.Dp_cache.Serve.verilog)
+      | None -> ());
+      print_record record
+    end
+    else
+      match env_of_vars expr vars with
+      | Error msg ->
+        Fmt.epr "error: %s (bind it with -v)@." msg;
+        exit 1
+      | Ok env -> (
+        match
+          Dp_flow.Synth.run_res ~tech ~adder
+            ~lower_config:{ recoding; multiplier_style }
+            ?width ~check_level strategy env expr
+        with
+        | Error d -> fail_diag d
+        | Ok r ->
+          report_result r ~env ~check ~cells ~verilog ~dot ?testbench ?pipeline
+            expr)
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize one expression")
     Term.(
@@ -294,10 +359,21 @@ let synth_cmd =
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
       $ tech_arg $ adder_arg $ recoding_arg $ multiplier_arg $ verilog_arg
       $ dot_arg $ testbench_arg $ pipeline_arg $ check_arg $ cells_arg
-      $ check_level_arg)
+      $ check_level_arg $ json_arg)
 
 let compare_cmd =
-  let action expr vars width adder check_level =
+  let action expr vars width adder check_level json =
+    if json then
+      (* One dpsyn-result/1 record per strategy, one line each. *)
+      List.iter
+        (fun strategy ->
+          print_record
+            (synth_record ~tech:Dp_tech.Tech.lcb_like
+               ~vars:(var_specs_of_vars vars) ~width ~strategy ~adder
+               ~lower_config:Dp_bitmatrix.Lower.default_config ~check_level
+               expr))
+        Dp_flow.Strategy.all
+    else
     match env_of_vars expr vars with
     | Error msg ->
       Fmt.epr "error: %s (bind it with -v)@." msg;
@@ -332,7 +408,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Synthesize with every strategy and tabulate")
     Term.(
       const action $ expr_arg $ vars_arg $ width_arg $ adder_arg
-      $ check_level_arg)
+      $ check_level_arg $ json_arg)
 
 let lint_cmd =
   let action expr vars width strategy tech adder =
@@ -605,6 +681,277 @@ let design_cmd =
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
       $ adder_arg $ check_arg $ cells_arg $ verilog_arg $ dot_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Server mode *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker threads in the pool.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Bound on queued jobs; producers block past it (backpressure).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget per request; 0 disables.")
+  in
+  let max_cells_arg =
+    Arg.(
+      value
+      & opt int Dp_fuzz.Budget.default.max_cells
+      & info [ "max-cells" ] ~docv:"N"
+          ~doc:"Cell-count budget per synthesized netlist; 0 disables.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Content-addressed on-disk store (created if missing).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"In-memory LRU capacity (entries).")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the netlist cache.")
+  in
+  let action socket workers queue_depth timeout max_cells cache_dir capacity
+      no_cache tech =
+    let store =
+      if no_cache then None
+      else Some (Dp_cache.Store.create ~capacity ?dir:cache_dir ())
+    in
+    let config =
+      {
+        Dp_server.Server.socket_path = socket;
+        store;
+        workers;
+        queue_depth;
+        budget =
+          { Dp_fuzz.Budget.default with timeout_s = timeout; max_cells };
+        tech;
+        log = (fun msg -> Fmt.epr "dpsyn serve: %s@." msg);
+      }
+    in
+    match Dp_server.Server.run config with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Fmt.epr "error: %s: %s (%s)@." fn (Unix.error_message e) arg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve synthesis over a Unix-domain socket (line-delimited JSON; \
+          see doc/protocol.md) with a canonicalizing netlist cache")
+    Term.(
+      const action $ socket_arg $ workers_arg $ queue_arg $ timeout_arg
+      $ max_cells_arg $ cache_dir_arg $ capacity_arg $ no_cache_arg $ tech_arg)
+
+let connect_or_die socket =
+  match Dp_server.Client.connect socket with
+  | Ok c -> c
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
+let client_cmd =
+  let op_arg =
+    Arg.(
+      value
+      & opt (enum [ ("synth", `Synth); ("stats", `Stats); ("shutdown", `Shutdown) ]) `Synth
+      & info [ "op" ] ~docv:"OP" ~doc:"Request: synth (default), stats, shutdown.")
+  in
+  let expr_opt =
+    Arg.(
+      value
+      & opt (some expr_conv) None
+      & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Expression (op synth).")
+  in
+  let emit_verilog_arg =
+    Arg.(
+      value & flag
+      & info [ "emit-verilog" ] ~doc:"Ask for the full Verilog text in the record.")
+  in
+  let action socket op expr vars width strategy adder recoding multiplier_style
+      check_level emit_verilog =
+    let envelope =
+      match op with
+      | `Stats -> { Dp_server.Protocol.id = Dp_server.Json.Int 1; req = Stats }
+      | `Shutdown -> { Dp_server.Protocol.id = Dp_server.Json.Int 1; req = Shutdown }
+      | `Synth -> (
+        match expr with
+        | None ->
+          Fmt.epr "error: --op synth needs an expression (-e)@.";
+          exit 1
+        | Some expr -> (
+          match
+            Dp_server.Protocol.synth_params ~vars:(var_specs_of_vars vars)
+              ~width ~strategy ~adder
+              ~lower_config:{ recoding; multiplier_style }
+              ~check_level ~emit_verilog
+              (Dp_expr.Ast.to_string expr)
+          with
+          | Error d -> fail_diag_json d
+          | Ok p ->
+            { Dp_server.Protocol.id = Dp_server.Json.Int 1; req = Synth p }))
+    in
+    let c = connect_or_die socket in
+    let r = Dp_server.Client.rpc c (Dp_server.Protocol.request_to_json envelope) in
+    Dp_server.Client.close c;
+    match r with
+    | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 1
+    | Ok response ->
+      print_endline (Dp_server.Json.to_string response);
+      (match Dp_server.Json.(member "ok" response |> Fun.flip Option.bind to_bool) with
+      | Some true -> ()
+      | _ -> exit 2)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running dpsyn serve and print the response")
+    Term.(
+      const action $ socket_arg $ op_arg $ expr_opt $ vars_arg $ width_arg
+      $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
+      $ adder_arg $ recoding_arg $ multiplier_arg $ check_level_arg
+      $ emit_verilog_arg)
+
+let batch_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL file: one synth request object per line.")
+  in
+  let designs_arg =
+    Arg.(
+      value & flag
+      & info [ "designs" ]
+          ~doc:"Use the paper's benchmark designs as the batch input.")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:"Write a dpsyn-batch-summary/1 JSON object to FILE.")
+  in
+  let params_of_file path =
+    In_channel.with_open_text path In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun line ->
+           match Dp_server.Json.of_string line with
+           | Error msg ->
+             Fmt.epr "error: %s: %s@." path msg;
+             exit 1
+           | Ok j -> (
+             match Dp_server.Protocol.params_of_json j with
+             | Ok p -> p
+             | Error d -> fail_diag_json d))
+  in
+  let params_of_designs strategy adder =
+    List.map
+      (fun (d : Dp_designs.Design.t) ->
+        match
+          Dp_server.Protocol.synth_params ~vars:(var_specs_of_env d.env)
+            ~width:(Some d.width) ~strategy ~adder
+            (Dp_expr.Ast.to_string d.expr)
+        with
+        | Ok p -> p
+        | Error d -> fail_diag_json d)
+      Dp_designs.Catalog.all
+  in
+  let action socket file designs summary strategy adder =
+    let params =
+      match (file, designs) with
+      | Some path, false -> params_of_file path
+      | None, true -> params_of_designs strategy adder
+      | _ ->
+        Fmt.epr "error: give exactly one of FILE or --designs@.";
+        exit 1
+    in
+    let envelope =
+      { Dp_server.Protocol.id = Dp_server.Json.Int 1; req = Batch params }
+    in
+    let c = connect_or_die socket in
+    let r = Dp_server.Client.rpc c (Dp_server.Protocol.request_to_json envelope) in
+    Dp_server.Client.close c;
+    match r with
+    | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 1
+    | Ok response -> (
+      let open Dp_server.Json in
+      match member "results" response |> Fun.flip Option.bind to_list with
+      | None ->
+        (* Top-level failure (e.g. a DP-PROTO diagnostic). *)
+        prerr_endline (to_string response);
+        exit 2
+      | Some elements ->
+        let ok = ref 0 and errors = ref 0 and cached = ref 0 in
+        List.iter
+          (fun el ->
+            (match member "ok" el |> Fun.flip Option.bind to_bool with
+            | Some true ->
+              incr ok;
+              if member "cached" el |> Fun.flip Option.bind to_bool
+                 = Some true
+              then incr cached
+            | _ -> incr errors);
+            (* One line per element, in request order: the bare record on
+               success (byte-comparable across passes), the error object
+               otherwise. *)
+            match member "result" el with
+            | Some record -> print_endline (to_string record)
+            | None -> print_endline (to_string el))
+          elements;
+        (match summary with
+        | None -> ()
+        | Some path ->
+          let s =
+            Obj
+              [
+                ("schema", Str "dpsyn-batch-summary/1");
+                ("requests", Int (List.length elements));
+                ("ok", Int !ok);
+                ("errors", Int !errors);
+                ("cached", Int !cached);
+              ]
+          in
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc (to_string s);
+              output_char oc '\n'));
+        if !errors > 0 then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Send a concurrent batch of synthesis requests to a running dpsyn \
+          serve; prints one result record per line, in request order")
+    Term.(
+      const action $ socket_arg $ file_arg $ designs_arg $ summary_arg
+      $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
+      $ adder_arg)
+
 let () =
   let doc = "fine-grained arithmetic datapath synthesis (DAC 2000 reproduction)" in
   let info = Cmd.info "dpsyn" ~version:"1.0.0" ~doc in
@@ -613,5 +960,5 @@ let () =
        (Cmd.group info
           [
             synth_cmd; synth_multi_cmd; compare_cmd; lint_cmd; fuzz_cmd;
-            designs_cmd; design_cmd;
+            designs_cmd; design_cmd; serve_cmd; client_cmd; batch_cmd;
           ]))

@@ -1,0 +1,98 @@
+open Dp_expr
+
+(* [Ast.t] is a pure tree of strings and ints, so the polymorphic
+   compare is a deterministic total order — exactly what the sort needs. *)
+let compare_expr (a : Ast.t) (b : Ast.t) = Stdlib.compare a b
+
+(* Negation with the two local normalizations the rebuild steps rely on:
+   no double negation, and no negated constant (the sign folds in). *)
+let neg_c : Ast.t -> Ast.t = function
+  | Ast.Neg e -> e
+  | Ast.Const c -> Ast.Const (-c)
+  | e -> Ast.Neg e
+
+(* A term of a flattened sum: [true] means the term is subtracted. *)
+let flip sign = not sign
+
+let rec canon (e : Ast.t) : Ast.t =
+  match e with
+  | Ast.Var _ | Ast.Const _ -> e
+  | Ast.Pow (a, n) -> Ast.Pow (canon a, n)
+  | Ast.Neg _ | Ast.Add _ | Ast.Sub _ -> canon_sum e
+  | Ast.Mul _ -> canon_product e
+
+(* Walk the +/-/Neg spine collecting signed terms; leaves are
+   canonicalized recursively.  A canonicalized leaf can itself normalize
+   to a sum (e.g. [1*(a + b)] collapsing to [a + b]), so [push_term]
+   re-flattens it — a canonical sum never nests Add/Sub/Neg (or a
+   negative constant) inside its term list, which is what makes the
+   whole pass idempotent. *)
+and push_term sign acc t =
+  match t with
+  | Ast.Add (a, b) -> push_term sign (push_term sign acc a) b
+  | Ast.Sub (a, b) -> push_term (flip sign) (push_term sign acc a) b
+  | Ast.Neg a -> push_term (flip sign) acc a
+  | Ast.Const c when c < 0 -> (flip sign, Ast.Const (-c)) :: acc
+  | t -> (sign, t) :: acc
+
+and sum_terms sign acc e =
+  match e with
+  | Ast.Add (a, b) -> sum_terms sign (sum_terms sign acc a) b
+  | Ast.Sub (a, b) -> sum_terms (flip sign) (sum_terms sign acc a) b
+  | Ast.Neg a -> sum_terms (flip sign) acc a
+  | leaf -> push_term sign acc (canon leaf)
+
+and canon_sum e =
+  let terms =
+    List.sort
+      (fun (sa, ta) (sb, tb) ->
+        match compare_expr ta tb with
+        | 0 -> Bool.compare sa sb  (* equal terms: added before subtracted *)
+        | c -> c)
+      (sum_terms false [] e)
+    (* x + 0 = x = x - 0: zero terms never affect the value, so they must
+       not split the canonical class either *)
+    |> List.filter (fun (_, t) -> t <> Ast.Const 0)
+  in
+  let pos = List.filter_map (fun (s, t) -> if s then None else Some t) terms in
+  let neg = List.filter_map (fun (s, t) -> if s then Some t else None) terms in
+  match (pos, neg) with
+  | [], [] -> Ast.Const 0 (* every term was a zero *)
+  | p :: ps, neg ->
+    List.fold_left (fun acc n -> Ast.Sub (acc, n))
+      (List.fold_left (fun acc p -> Ast.Add (acc, p)) p ps)
+      neg
+  | [], n :: ns ->
+    neg_c (List.fold_left (fun acc n -> Ast.Add (acc, n)) n ns)
+
+(* Walk the Mul spine collecting factors; negations (and constant signs)
+   hoist out of the product as a parity bit.  As with sums, a
+   canonicalized leaf can normalize to a product (e.g. [(a*b + 0)]
+   collapsing to [a*b]), so [push_factor] re-flattens it. *)
+and push_factor (negated, acc) f =
+  match f with
+  | Ast.Mul (a, b) -> push_factor (push_factor (negated, acc) a) b
+  | Ast.Neg a -> push_factor (flip negated, acc) a
+  | Ast.Const c when c < 0 -> (flip negated, Ast.Const (-c) :: acc)
+  | f -> (negated, f :: acc)
+
+and product_factors (negated, acc) e =
+  match e with
+  | Ast.Mul (a, b) -> product_factors (product_factors (negated, acc) a) b
+  | Ast.Neg a -> product_factors (flip negated, acc) a
+  | leaf -> push_factor (negated, acc) (canon leaf)
+
+and canon_product e =
+  let negated, factors = product_factors (false, []) e in
+  if List.mem (Ast.Const 0) factors then Ast.Const 0
+  else
+    (* unit factors are the multiplicative analogue of zero terms *)
+    match
+      List.sort compare_expr (List.filter (fun f -> f <> Ast.Const 1) factors)
+    with
+    | [] -> Ast.Const (if negated then -1 else 1)
+    | f :: fs ->
+      let body = List.fold_left (fun acc f -> Ast.Mul (acc, f)) f fs in
+      if negated then neg_c body else body
+
+let canonicalize = canon

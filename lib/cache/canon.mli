@@ -1,0 +1,26 @@
+(** Canonical normal form for cache keying.
+
+    Two requests whose expressions differ only by the order of commutative
+    operands (or by trivially equivalent sign placement) must map to the
+    same cache entry, so the canonicalizer rewrites an [Ast.t] into a
+    normal form that is {e evaluation-equivalent} — over the wrap-around
+    integer ring, hence modulo 2^W for every W — to the original:
+
+    - [+]/[-]/[Neg] spines flatten into one signed term list, sorted by
+      a deterministic structural order and rebuilt left-associatively
+      (added terms first, subtracted terms after);
+    - [*] spines flatten into one factor list, sorted the same way, with
+      negations (and constant signs) hoisted out as a parity bit;
+    - double negation and negated constants are eliminated, as are
+      additive zero terms, multiplicative one factors, and products
+      containing a zero factor;
+    - [Pow] bases and exponents are preserved (only the base recurses).
+
+    The function is idempotent, and both properties (equivalence and
+    idempotence) are property-tested in [test_cache.ml] against random
+    fuzzer-generated expressions. *)
+
+val canonicalize : Dp_expr.Ast.t -> Dp_expr.Ast.t
+
+(** The deterministic structural order used for operand sorting. *)
+val compare_expr : Dp_expr.Ast.t -> Dp_expr.Ast.t -> int

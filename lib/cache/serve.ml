@@ -1,0 +1,66 @@
+open Dp_expr
+
+type request = {
+  expr : Ast.t;
+  env : Env.t;
+  width : int option;
+  strategy : Dp_flow.Strategy.t;
+  adder : Dp_adders.Adder.kind;
+  lower_config : Dp_bitmatrix.Lower.config;
+  check_level : Dp_verify.Lint.check_level;
+  tech : Dp_tech.Tech.t;
+}
+
+let request ?(width = None) ?(strategy = Dp_flow.Strategy.Fa_aot)
+    ?(adder = Dp_adders.Adder.Cla)
+    ?(lower_config = Dp_bitmatrix.Lower.default_config)
+    ?(check_level = Dp_verify.Lint.Off) ?(tech = Dp_tech.Tech.lcb_like) env
+    expr =
+  { expr; env; width; strategy; adder; lower_config; check_level; tech }
+
+type outcome = {
+  result : Dp_flow.Synth.result;
+  verilog : string;
+  digest : string;
+  width : int;
+  cached : bool;
+}
+
+let run ?store (r : request) =
+  match Env.check_covers_res r.expr r.env with
+  | Error d -> Error d
+  | Ok () -> (
+    let key =
+      Key.make ~tech:r.tech ~adder:r.adder ~lower_config:r.lower_config
+        ~check_level:r.check_level ?width:r.width r.strategy r.env r.expr
+    in
+    let digest = Key.digest key in
+    match Option.bind store (fun s -> Store.find s key) with
+    | Some (e : Store.entry) ->
+      Ok
+        {
+          result = e.result;
+          verilog = e.verilog;
+          digest;
+          width = key.width;
+          cached = true;
+        }
+    | None -> (
+      (* Synthesize the *canonical* expression at the key's resolved
+         width, so every request in the same canonical class receives
+         the same netlist — the byte-identity the acceptance property
+         tests demand. *)
+      match
+        Dp_flow.Synth.run_res ~tech:r.tech ~adder:r.adder
+          ~lower_config:r.lower_config ~width:key.width
+          ~check_level:r.check_level r.strategy r.env key.expr
+      with
+      | Error d -> Error d
+      | Ok result ->
+        let verilog = Dp_netlist.Verilog.emit result.netlist in
+        Option.iter
+          (fun s ->
+            Store.add s key
+              { Store.fingerprint = Key.fingerprint key; result; verilog })
+          store;
+        Ok { result; verilog; digest; width = key.width; cached = false }))

@@ -1,0 +1,42 @@
+(** The serving core: one cached synthesis request → outcome.
+
+    This is the cache-aware path shared by the [dpsyn serve] server, the
+    [--json] CLI surface and the batch-latency benchmarks.  Unlike
+    [Synth.run], it synthesizes the {e canonical} form of the expression
+    at the key's resolved width, so every request in the same canonical
+    class — however its operands were ordered — maps to one cache entry
+    and one byte-identical netlist. *)
+
+type request = {
+  expr : Dp_expr.Ast.t;
+  env : Dp_expr.Env.t;
+  width : int option;
+  strategy : Dp_flow.Strategy.t;
+  adder : Dp_adders.Adder.kind;
+  lower_config : Dp_bitmatrix.Lower.config;
+  check_level : Dp_verify.Lint.check_level;
+  tech : Dp_tech.Tech.t;
+}
+
+(** Request with [dpsyn synth]'s defaults. *)
+val request :
+  ?width:int option -> ?strategy:Dp_flow.Strategy.t ->
+  ?adder:Dp_adders.Adder.kind ->
+  ?lower_config:Dp_bitmatrix.Lower.config ->
+  ?check_level:Dp_verify.Lint.check_level -> ?tech:Dp_tech.Tech.t ->
+  Dp_expr.Env.t -> Dp_expr.Ast.t -> request
+
+type outcome = {
+  result : Dp_flow.Synth.result;
+  verilog : string;  (** byte-identical across cached and fresh serves *)
+  digest : string;  (** the entry's content address *)
+  width : int;  (** resolved output width *)
+  cached : bool;
+}
+
+(** Serve one request: cache lookup (when [store] is given), else
+    synthesis + insertion.  Failures are typed diagnostics exactly as in
+    [Synth.run_res], plus [DP-ENV003] for an environment that does not
+    cover the expression. *)
+val run :
+  ?store:Store.t -> request -> (outcome, Dp_diag.Diag.t) Stdlib.result

@@ -1,0 +1,224 @@
+type entry = {
+  fingerprint : string;
+  result : Dp_flow.Synth.result;
+  verilog : string;
+}
+
+(* Doubly-linked LRU node; [head] is most recently used. *)
+type node = {
+  digest : string;
+  entry : entry;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type stats = {
+  hits : int;
+  disk_hits : int;
+  misses : int;
+  evictions : int;
+  corrupt : int;
+  stores : int;
+  entries : int;
+}
+
+type t = {
+  capacity : int;
+  dir : string option;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable size : int;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+  mutable stores : int;
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 256) ?dir () =
+  if capacity < 1 then invalid_arg "Store.create: capacity must be >= 1";
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+  | _ -> ());
+  {
+    capacity;
+    dir;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    size = 0;
+    hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    evictions = 0;
+    corrupt = 0;
+    stores = 0;
+    lock = Mutex.create ();
+  }
+
+let stats t =
+  Mutex.protect t.lock @@ fun () ->
+  {
+    hits = t.hits;
+    disk_hits = t.disk_hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    corrupt = t.corrupt;
+    stores = t.stores;
+    entries = t.size;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Intrusive LRU list (all under [lock]) *)
+
+let detach t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  detach t n;
+  push_front t n
+
+let insert t digest entry =
+  (match Hashtbl.find_opt t.table digest with
+  | Some old ->
+    detach t old;
+    Hashtbl.remove t.table digest;
+    t.size <- t.size - 1
+  | None -> ());
+  let n = { digest; entry; prev = None; next = None } in
+  Hashtbl.replace t.table digest n;
+  push_front t n;
+  t.size <- t.size + 1;
+  while t.size > t.capacity do
+    match t.tail with
+    | None -> t.size <- t.capacity (* unreachable *)
+    | Some lru ->
+      detach t lru;
+      Hashtbl.remove t.table lru.digest;
+      t.size <- t.size - 1;
+      t.evictions <- t.evictions + 1
+  done
+
+(* ------------------------------------------------------------------ *)
+(* On-disk content-addressed entries.
+
+   File layout: a magic line, the hex MD5 of the marshalled body, then
+   the body itself.  The checksum rejects truncation and bit-rot before
+   [Marshal.from_string] ever runs on the bytes; the fingerprint match
+   rejects digest collisions and misfiled entries; the lint sweep
+   rejects structurally corrupt netlists that survive both.  Every
+   failure mode degrades to a cache miss. *)
+
+let magic = "dpsyn-cache/1\n"
+
+let entry_path dir digest = Filename.concat dir (digest ^ ".dpc")
+
+let write_disk t digest entry =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+    let body = Marshal.to_string entry [] in
+    let path = entry_path dir digest in
+    let tmp = path ^ ".tmp" in
+    try
+      Out_channel.with_open_bin tmp (fun oc ->
+          output_string oc magic;
+          output_string oc (Digest.to_hex (Digest.string body));
+          output_char oc '\n';
+          output_string oc body);
+      (* Atomic publish: a reader sees the old entry, the new entry, or
+         no entry — never a half-written one. *)
+      Sys.rename tmp path
+    with Sys_error _ | Unix.Unix_error _ -> ( try Sys.remove tmp with _ -> ()))
+
+let lint_ok netlist =
+  match Dp_verify.Lint.significant (Dp_verify.Lint.run netlist) with
+  | [] -> true
+  | _ :: _ -> false
+  | exception _ -> false
+
+let read_disk t digest ~fingerprint =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+    let path = entry_path dir digest in
+    if not (Sys.file_exists path) then None
+    else
+      let parsed =
+        try
+          let raw = In_channel.with_open_bin path In_channel.input_all in
+          let mlen = String.length magic in
+          if
+            String.length raw < mlen + 33
+            || not (String.equal (String.sub raw 0 mlen) magic)
+          then None
+          else
+            let sum = String.sub raw mlen 32 in
+            let body = String.sub raw (mlen + 33) (String.length raw - mlen - 33) in
+            if not (String.equal sum (Digest.to_hex (Digest.string body))) then
+              None
+            else
+              let (entry : entry) = Marshal.from_string body 0 in
+              if
+                String.equal entry.fingerprint fingerprint
+                && lint_ok entry.result.netlist
+              then Some entry
+              else None
+        with _ -> None
+      in
+      match parsed with
+      | Some _ as ok -> ok
+      | None ->
+        (* Corrupt (or misfiled) entry: drop it so it cannot shadow a
+           future good write, and account for it. *)
+        t.corrupt <- t.corrupt + 1;
+        (try Sys.remove path with Sys_error _ -> ());
+        None)
+
+(* ------------------------------------------------------------------ *)
+
+let find t key =
+  let digest = Key.digest key in
+  let fingerprint = Key.fingerprint key in
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.table digest with
+  | Some n when String.equal n.entry.fingerprint fingerprint ->
+    touch t n;
+    t.hits <- t.hits + 1;
+    Some n.entry
+  | _ -> (
+    match read_disk t digest ~fingerprint with
+    | Some entry ->
+      t.disk_hits <- t.disk_hits + 1;
+      insert t digest entry;
+      Some entry
+    | None ->
+      t.misses <- t.misses + 1;
+      None)
+
+let add t key entry =
+  let digest = Key.digest key in
+  Mutex.protect t.lock @@ fun () ->
+  insert t digest entry;
+  write_disk t digest entry;
+  t.stores <- t.stores + 1
+
+let mem_digests t =
+  Mutex.protect t.lock @@ fun () ->
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.digest :: acc) n.next
+  in
+  go [] t.head

@@ -1,0 +1,46 @@
+(** Content-addressed netlist cache: an in-memory LRU in front of an
+    optional on-disk store.
+
+    Entries are addressed by {!Key.digest} and carry the full synthesis
+    result plus its Verilog emission, so a hit reproduces a fresh
+    [Synth.run] byte-for-byte.  Disk entries are checksummed, matched
+    against the request's full {!Key.fingerprint} (a digest collision or
+    a misfiled entry is never served), and lint-checked with
+    [Dp_verify.Lint] on load — {e every} corruption mode degrades to a
+    cache miss, never to a wrong netlist.  All operations are
+    thread-safe. *)
+
+type entry = {
+  fingerprint : string;  (** the {!Key.fingerprint} the entry was stored under *)
+  result : Dp_flow.Synth.result;
+  verilog : string;  (** [Verilog.emit result.netlist], captured at store time *)
+}
+
+type stats = {
+  hits : int;  (** in-memory LRU hits *)
+  disk_hits : int;  (** misses in memory served from disk (then promoted) *)
+  misses : int;  (** full misses — the caller synthesized *)
+  evictions : int;  (** LRU evictions from memory (disk copies survive) *)
+  corrupt : int;  (** disk entries rejected by checksum/fingerprint/lint *)
+  stores : int;  (** successful {!add} calls *)
+  entries : int;  (** current in-memory entry count *)
+}
+
+type t
+
+(** [create ~capacity ~dir ()] — [capacity] bounds the in-memory LRU
+    (default 256 entries); [dir] (created if missing) enables the
+    on-disk store.  @raise Invalid_argument on a capacity < 1. *)
+val create : ?capacity:int -> ?dir:string -> unit -> t
+
+(** Lookup; promotes disk hits into memory and updates LRU order. *)
+val find : t -> Key.t -> entry option
+
+(** Insert (memory, and disk when enabled; disk write failures are
+    silently degraded — the cache is best-effort by design). *)
+val add : t -> Key.t -> entry -> unit
+
+val stats : t -> stats
+
+(** In-memory digests, most recently used first (test hook). *)
+val mem_digests : t -> string list

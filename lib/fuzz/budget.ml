@@ -75,27 +75,109 @@ let check_cells b netlist =
                ("max_cells", string_of_int b.max_cells) ]
            "netlist has %d cells, over the budget of %d" cells b.max_cells)
 
-exception Timed_out
+(* Reentrant wall-clock budgets over the single process-wide ITIMER_REAL.
+
+   Every active [with_timeout] pushes a {e frame} (absolute deadline plus
+   owning thread) onto a shared stack; the timer is always armed for the
+   {e earliest} live deadline, so an inner budget can neither delay nor
+   clobber an outer one.  The SIGALRM handler raises [Timed_out fid] only
+   for a frame owned by the thread that happens to execute the handler;
+   a deadline owned by another thread is flagged ([fired]) and the timer
+   re-armed at a short interval until the owning thread — busy in
+   synthesis, hence the likeliest to be interrupted — runs the handler
+   itself or notices the flag on exit.  Each [with_timeout] catches only
+   its own frame id, so a nested (outer) expiry unwinds {e through} the
+   inner budget and is converted at the right level. *)
+
+exception Timed_out of int
+
+type frame = {
+  fid : int;
+  deadline : float;  (** absolute, Unix.gettimeofday clock *)
+  tid : int;  (** Thread.id of the owner *)
+  mutable fired : bool;
+}
+
+(* Innermost-first stack of live frames.  Updated by whole-list swaps
+   under [lock]; the signal handler only reads the list (one atomic
+   pointer load) and mutates [fired] flags, so it never takes the lock. *)
+let frames : frame list ref = ref []
+let lock = Mutex.create ()
+let next_fid = ref 0
+
+(* Timer value and SIGALRM behavior found before the first frame was
+   pushed, restored when the last one pops. *)
+let saved : (Unix.interval_timer_status * Sys.signal_behavior) option ref =
+  ref None
+
+let set_timer seconds =
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_value = seconds; it_interval = 0.0 })
+
+(* Arm for the earliest live deadline (never 0, which would disable). *)
+let arm () =
+  match !frames with
+  | [] -> set_timer 0.0
+  | fs ->
+    let now = Unix.gettimeofday () in
+    let earliest =
+      List.fold_left (fun acc f -> Float.min acc f.deadline) infinity fs
+    in
+    set_timer (Float.max (earliest -. now) 1e-4)
+
+let on_alarm _ =
+  let now = Unix.gettimeofday () in
+  let expired = List.filter (fun f -> f.deadline <= now) !frames in
+  List.iter (fun f -> f.fired <- true) expired;
+  let self = Thread.id (Thread.self ()) in
+  match List.find_opt (fun f -> f.tid = self) expired with
+  | Some f -> raise (Timed_out f.fid)
+  | None ->
+    (* Early wake-up, or the expired frame belongs to another thread:
+       re-arm — quickly in the foreign case, so the signal soon lands in
+       the owning thread. *)
+    if expired = [] then arm () else set_timer 5e-4
+
+let enter timeout_s =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+  if !frames = [] then begin
+    let h = Sys.signal Sys.sigalrm (Sys.Signal_handle on_alarm) in
+    let t = Unix.getitimer Unix.ITIMER_REAL in
+    saved := Some (t, h)
+  end;
+  incr next_fid;
+  let f =
+    {
+      fid = !next_fid;
+      deadline = Unix.gettimeofday () +. timeout_s;
+      tid = Thread.id (Thread.self ());
+      fired = false;
+    }
+  in
+  frames := f :: !frames;
+  arm ();
+  f
+
+let leave fr =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+  frames := List.filter (fun g -> g.fid <> fr.fid) !frames;
+  match (!frames, !saved) with
+  | [], Some (t, h) ->
+    ignore (Unix.setitimer Unix.ITIMER_REAL t);
+    Sys.set_signal Sys.sigalrm h;
+    saved := None
+  | _ -> arm ()
 
 let with_timeout b f =
   if b.timeout_s <= 0.0 then f ()
   else begin
-    let timed_out = ref false in
-    let old_handler =
-      Sys.signal Sys.sigalrm
-        (Sys.Signal_handle
-           (fun _ ->
-             timed_out := true;
-             raise Timed_out))
-    in
-    let old_timer =
-      Unix.setitimer Unix.ITIMER_REAL
-        { Unix.it_value = b.timeout_s; it_interval = 0.0 }
-    in
-    let restore () =
-      ignore (Unix.setitimer Unix.ITIMER_REAL old_timer);
-      Sys.set_signal Sys.sigalrm old_handler
-    in
+    let fr = enter b.timeout_s in
+    (* Our own deadline may expire inside [leave] itself; that raise is
+       equivalent to the flag check that follows, so absorb it. *)
+    let finish () = try leave fr with Timed_out id when id = fr.fid -> () in
     let budget_exceeded () =
       Dp_diag.Diag.fail
         (Dp_diag.Diag.errorf ~code:"DP-BUDGET001" ~subsystem:"budget"
@@ -104,14 +186,14 @@ let with_timeout b f =
     in
     match f () with
     | v ->
-      restore ();
+      finish ();
       (* The alarm may have fired inside an exception-swallowing wrapper
          (e.g. [Synth.run_res]'s catch-all); the flag still records it. *)
-      if !timed_out then budget_exceeded () else v
-    | exception Timed_out ->
-      restore ();
+      if fr.fired then budget_exceeded () else v
+    | exception Timed_out id when id = fr.fid ->
+      finish ();
       budget_exceeded ()
     | exception e ->
-      restore ();
-      if !timed_out then budget_exceeded () else raise e
+      finish ();
+      if fr.fired then budget_exceeded () else raise e
   end

@@ -34,5 +34,13 @@ val check_cells : t -> Dp_netlist.Netlist.t -> (unit, Dp_diag.Diag.t) result
 (** [with_timeout b f] runs [f] under an interval timer and raises
     [Dp_diag.Diag.E] with [DP-BUDGET001] if it exceeds [timeout_s].
     Exception-safe: the timer and previous [SIGALRM] handler are always
-    restored.  Not reentrant (one timer per process). *)
+    restored.
+
+    Reentrant: nested budgets stack — each keeps its own absolute
+    deadline, the single process timer is armed for the earliest one,
+    and an expiring {e outer} budget unwinds through (and is not
+    misattributed to) an inner budget still within its own allowance.
+    Safe for concurrent use from several threads (the synthesis server's
+    per-request budgets): a deadline is only ever converted into the
+    [DP-BUDGET001] failure of the [with_timeout] call that created it. *)
 val with_timeout : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,35 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () ->
+    Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" socket_path
+         (Unix.error_message e))
+
+let send_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let recv_line c =
+  match input_line c.ic with
+  | line -> Some line
+  | exception End_of_file -> None
+
+(* One request, one response line (the protocol is strictly one line per
+   request, so this is all a sequential client needs). *)
+let rpc c request =
+  send_line c (Json.to_string request);
+  match recv_line c with
+  | None -> Error "server closed the connection"
+  | Some line -> (
+    match Json.of_string line with
+    | Ok j -> Ok j
+    | Error msg -> Error (Printf.sprintf "bad response line: %s" msg))
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

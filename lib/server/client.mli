@@ -1,0 +1,13 @@
+(** Minimal synchronous client for the [dpsyn serve] socket protocol:
+    one JSON line out, one JSON line back. *)
+
+type t
+
+val connect : string -> (t, string) result
+val send_line : t -> string -> unit
+val recv_line : t -> string option
+
+(** [rpc c request] sends one request object and reads one response. *)
+val rpc : t -> Json.t -> (Json.t, string) result
+
+val close : t -> unit

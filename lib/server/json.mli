@@ -1,0 +1,32 @@
+(** Minimal JSON for the wire protocol — no external dependencies.
+
+    The printer is deterministic (object fields emit in the order given,
+    floats use the shortest round-tripping decimal form), which is what
+    makes repeated identical requests produce byte-identical response
+    lines. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line emission (no extraneous whitespace). *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+(** [member k v] is the field [k] of object [v], if any. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+
+(** Accepts [Int] too (JSON does not distinguish). *)
+val to_float : t -> float option
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,407 @@
+(* The synthesis service: a Unix-domain-socket listener, one handler
+   thread per connection, and a worker pool fed through a bounded queue.
+
+   Backpressure is structural: the queue blocks producers once
+   [queue_depth] jobs are waiting, so a flood of batch requests slows the
+   producing connections down instead of growing memory without bound.
+   Each job runs under the per-request wall-clock/cell-count budget; a
+   blown budget is an ordinary DP-BUDGET* error envelope, and the worker
+   survives to take the next job. *)
+
+module Diag = Dp_diag.Diag
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue *)
+
+module Bqueue = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    cap : int;
+    m : Mutex.t;
+    not_full : Condition.t;
+    not_empty : Condition.t;
+    mutable closed : bool;
+  }
+
+  exception Closed
+
+  let create cap =
+    {
+      q = Queue.create ();
+      cap;
+      m = Mutex.create ();
+      not_full = Condition.create ();
+      not_empty = Condition.create ();
+      closed = false;
+    }
+
+  (* Blocks while the queue is at capacity — the backpressure edge. *)
+  let push t x =
+    Mutex.protect t.m @@ fun () ->
+    while (not t.closed) && Queue.length t.q >= t.cap do
+      Condition.wait t.not_full t.m
+    done;
+    if t.closed then raise Closed;
+    Queue.add x t.q;
+    Condition.signal t.not_empty
+
+  (* [None] once the queue is closed and drained. *)
+  let pop t =
+    Mutex.protect t.m @@ fun () ->
+    while (not t.closed) && Queue.is_empty t.q do
+      Condition.wait t.not_empty t.m
+    done;
+    if Queue.is_empty t.q then None
+    else begin
+      let x = Queue.take t.q in
+      Condition.signal t.not_full;
+      Some x
+    end
+
+  let close t =
+    Mutex.protect t.m @@ fun () ->
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full
+end
+
+(* ------------------------------------------------------------------ *)
+(* Latency histogram (log-spaced milliseconds; last bucket = overflow) *)
+
+let latency_bounds_ms = [| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 |]
+
+type histogram = { counts : int array }
+
+let histogram () = { counts = Array.make (Array.length latency_bounds_ms + 1) 0 }
+
+let observe h ms =
+  let n = Array.length latency_bounds_ms in
+  let rec bucket i =
+    if i >= n then n
+    else if ms <= float_of_int latency_bounds_ms.(i) then i
+    else bucket (i + 1)
+  in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1
+
+let histogram_json h =
+  Json.List
+    (List.init
+       (Array.length h.counts)
+       (fun i ->
+         let le =
+           if i < Array.length latency_bounds_ms then
+             Json.Int latency_bounds_ms.(i)
+           else Json.Null
+         in
+         Json.Obj [ ("le_ms", le); ("count", Json.Int h.counts.(i)) ]))
+
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  socket_path : string;
+  store : Dp_cache.Store.t option;
+  workers : int;
+  queue_depth : int;
+  budget : Dp_fuzz.Budget.t;
+  tech : Dp_tech.Tech.t;
+  log : string -> unit;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    store = Some (Dp_cache.Store.create ());
+    workers = 2;
+    queue_depth = 64;
+    budget = { Dp_fuzz.Budget.default with timeout_s = 30.0 };
+    tech = Dp_tech.Tech.lcb_like;
+    log = ignore;
+  }
+
+type job = {
+  params : Protocol.synth_params;
+  enqueued_at : float;
+  deliver : (Dp_cache.Serve.outcome, Diag.t) result -> unit;
+}
+
+type t = {
+  config : config;
+  queue : job Bqueue.t;
+  listen_fd : Unix.file_descr;
+  (* self-pipe: closing a listen socket does not wake a thread already
+     blocked on it, so shutdown writes one byte here and the accept loop
+     selects on both *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable worker_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  state_lock : Mutex.t;
+  mutable shutting_down : bool;
+  (* counters, all under [state_lock] *)
+  mutable served : int;  (** synth results delivered (incl. batch elements) *)
+  mutable errors : int;  (** error envelopes/elements delivered *)
+  mutable connections : int;
+  latency : histogram;
+}
+
+let locked t f = Mutex.protect t.state_lock f
+
+(* ------------------------------------------------------------------ *)
+(* Job execution (worker side) *)
+
+let execute t (p : Protocol.synth_params) =
+  match Protocol.serve_request ~tech:t.config.tech p with
+  | Error d -> Error d
+  | Ok r -> (
+    let budget = t.config.budget in
+    match
+      Dp_fuzz.Budget.with_timeout budget (fun () ->
+          Dp_cache.Serve.run ?store:t.config.store r)
+    with
+    | Error d -> Error d
+    | exception Diag.E d -> Error d
+    | exception Bqueue.Closed -> raise Bqueue.Closed
+    | exception e ->
+      Error
+        (Diag.v ~code:"DP-INTERNAL" ~subsystem:"server"
+           ~context:[ ("exception", Printexc.to_string e) ]
+           "unexpected exception while serving a request")
+    | Ok o -> (
+      match Dp_fuzz.Budget.check_cells budget o.result.netlist with
+      | Ok () -> Ok o
+      | Error d -> Error d))
+
+let worker_loop t =
+  let rec go () =
+    match Bqueue.pop t.queue with
+    | None -> ()
+    | Some job ->
+      let r = execute t job.params in
+      let ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1000.0 in
+      locked t (fun () ->
+          observe t.latency ms;
+          match r with
+          | Ok _ -> t.served <- t.served + 1
+          | Error _ -> t.errors <- t.errors + 1);
+      job.deliver r;
+      go ()
+  in
+  go ()
+
+(* Enqueue [jobs] and block until every one has delivered. *)
+let run_jobs t params_list =
+  let n = List.length params_list in
+  let slots = Array.make n None in
+  let remaining = ref n in
+  let m = Mutex.create () in
+  let all_done = Condition.create () in
+  List.iteri
+    (fun i p ->
+      let deliver r =
+        Mutex.protect m (fun () ->
+            slots.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast all_done)
+      in
+      let job = { params = p; enqueued_at = Unix.gettimeofday (); deliver } in
+      try Bqueue.push t.queue job
+      with Bqueue.Closed ->
+        deliver
+          (Error
+             (Diag.v ~code:"DP-INTERNAL" ~subsystem:"server"
+                "server is shutting down")))
+    params_list;
+  Mutex.protect m (fun () ->
+      while !remaining > 0 do
+        Condition.wait all_done m
+      done);
+  Array.to_list slots
+  |> List.map (function
+       | Some r -> r
+       | None ->
+         Error
+           (Diag.v ~code:"DP-INTERNAL" ~subsystem:"server"
+              "request slot never delivered"))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let stats_json t =
+  let served, errors, connections, latency =
+    locked t (fun () ->
+        (t.served, t.errors, t.connections, histogram_json t.latency))
+  in
+  let cache =
+    match t.config.store with
+    | None -> Json.Null
+    | Some s ->
+      let c = Dp_cache.Store.stats s in
+      Json.Obj
+        [
+          ("hits", Json.Int c.hits);
+          ("disk_hits", Json.Int c.disk_hits);
+          ("misses", Json.Int c.misses);
+          ("evictions", Json.Int c.evictions);
+          ("corrupt", Json.Int c.corrupt);
+          ("stores", Json.Int c.stores);
+          ("entries", Json.Int c.entries);
+        ]
+  in
+  Json.Obj
+    [
+      ("served", Json.Int served);
+      ("errors", Json.Int errors);
+      ("connections", Json.Int connections);
+      ("workers", Json.Int t.config.workers);
+      ("queue_depth", Json.Int t.config.queue_depth);
+      ("cache", cache);
+      ("latency_ms", latency);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown *)
+
+let request_shutdown t =
+  let first =
+    locked t (fun () ->
+        if t.shutting_down then false
+        else begin
+          t.shutting_down <- true;
+          true
+        end)
+  in
+  if first then begin
+    t.config.log "shutting down";
+    (* Unlink before waking the accept loop: [wait] returns once the
+       accept thread and the workers have joined, and a caller must then
+       observe the socket file already gone. *)
+    (try Sys.remove t.config.socket_path with Sys_error _ -> ());
+    Bqueue.close t.queue;
+    try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling *)
+
+let respond oc json =
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  flush oc
+
+let handle_line t oc line =
+  match Protocol.request_of_line line with
+  | Error d ->
+    locked t (fun () -> t.errors <- t.errors + 1);
+    respond oc (Protocol.error_response ~id:(Protocol.id_of_line line) d);
+    `Continue
+  | Ok { id; req } -> (
+    match req with
+    | Protocol.Stats ->
+      respond oc (Protocol.ok_response ~id [ ("stats", stats_json t) ]);
+      `Continue
+    | Protocol.Shutdown ->
+      respond oc (Protocol.ok_response ~id []);
+      request_shutdown t;
+      `Close
+    | Protocol.Synth p -> (
+      match run_jobs t [ p ] with
+      | [ Ok o ] -> respond oc (Protocol.synth_response ~id p o); `Continue
+      | [ Error d ] -> respond oc (Protocol.error_response ~id d); `Continue
+      | _ -> assert false)
+    | Protocol.Batch ps ->
+      let results = run_jobs t ps in
+      let elements = List.map2 Protocol.batch_element ps results in
+      respond oc (Protocol.batch_response ~id elements);
+      `Continue)
+
+let handle_connection t fd =
+  locked t (fun () -> t.connections <- t.connections + 1);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | "" -> loop ()
+    | line -> (
+      match handle_line t oc line with
+      | `Continue -> loop ()
+      | `Close -> ()
+      | exception Sys_error _ -> () (* peer went away mid-response *))
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec go () =
+    if locked t (fun () -> t.shutting_down) then ()
+    else
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | ready, _, _ ->
+        if List.mem t.wake_r ready then () (* shutdown byte *)
+        else (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+            ignore (Thread.create (fun () -> handle_connection t fd) ());
+            go ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            go ()
+          | exception Unix.Unix_error (_, _, _) -> ())
+  in
+  go ();
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let start config =
+  if config.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if config.queue_depth < 1 then
+    invalid_arg "Server.start: queue_depth must be >= 1";
+  (* A dead client mid-response must not kill the whole server. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock listen_fd;
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 16;
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      config;
+      queue = Bqueue.create config.queue_depth;
+      listen_fd;
+      wake_r;
+      wake_w;
+      worker_threads = [];
+      accept_thread = None;
+      state_lock = Mutex.create ();
+      shutting_down = false;
+      served = 0;
+      errors = 0;
+      connections = 0;
+      latency = histogram ();
+    }
+  in
+  t.worker_threads <-
+    List.init config.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  config.log
+    (Printf.sprintf "listening on %s (%d workers, queue depth %d)"
+       config.socket_path config.workers config.queue_depth);
+  t
+
+let wait t =
+  Option.iter Thread.join t.accept_thread;
+  List.iter Thread.join t.worker_threads;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+let run config =
+  let t = start config in
+  wait t

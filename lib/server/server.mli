@@ -1,0 +1,39 @@
+(** The [dpsyn serve] server: a Unix-domain-socket listener speaking the
+    line-delimited JSON protocol of {!Protocol}, with a worker pool fed
+    through a {e bounded} queue (producers block once [queue_depth] jobs
+    are waiting — backpressure instead of unbounded memory), a shared
+    {!Dp_cache.Store}, and a per-request wall-clock/cell-count budget
+    from {!Dp_fuzz.Budget}.  Every failure — malformed request, blown
+    budget, synthesis error — is an error envelope carrying the typed
+    diagnostic; the connection and the worker both survive. *)
+
+type config = {
+  socket_path : string;
+  store : Dp_cache.Store.t option;  (** [None] disables caching *)
+  workers : int;
+  queue_depth : int;
+  budget : Dp_fuzz.Budget.t;  (** applied to every request *)
+  tech : Dp_tech.Tech.t;
+  log : string -> unit;
+}
+
+(** In-memory cache, 2 workers, queue depth 64, 30 s/200k-cell budget. *)
+val default_config : socket_path:string -> config
+
+type t
+
+(** Bind the socket (replacing a stale file), spawn workers and the
+    accept loop, and return immediately. *)
+val start : config -> t
+
+(** Block until a [shutdown] request (or {!request_shutdown}) has
+    drained the queue and stopped the accept loop. *)
+val wait : t -> unit
+
+(** [start] + [wait]. *)
+val run : config -> unit
+
+val request_shutdown : t -> unit
+
+(** The [stats] payload (also used by the [stats] op). *)
+val stats_json : t -> Json.t

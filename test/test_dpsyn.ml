@@ -24,4 +24,6 @@ let () =
       ("properties", Test_props.suite);
       ("perf", Test_perf.suite);
       ("properties2", Test_props2.suite);
+      ("cache", Test_cache.suite);
+      ("server", Test_server.suite);
     ]

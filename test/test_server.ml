@@ -1,0 +1,445 @@
+(* The serving layer: JSON wire format, protocol parsing, the in-process
+   server over a real Unix-domain socket, and the reentrant wall-clock
+   budget that makes per-request timeouts safe inside the worker pool. *)
+
+open Helpers
+module S = Dp_server
+module Json = Dp_server.Json
+module P = Dp_server.Protocol
+module Fz = Dp_fuzz
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_round_trips () =
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Error msg -> Alcotest.failf "%s: %s" text msg
+      | Ok v -> check Alcotest.string text text (Json.to_string v))
+    [
+      "null";
+      "true";
+      "[1,2,3]";
+      "{\"a\":1,\"b\":[true,null],\"c\":\"x\\ny\"}";
+      "{\"nested\":{\"deep\":[{\"k\":-12}]}}";
+      "3.25";
+      "\"quote \\\" backslash \\\\\"";
+    ]
+
+let json_rejects_malformed () =
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Ok v -> Alcotest.failf "%s parsed as %s" text (Json.to_string v)
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\"}"; "tru"; "1 2"; "\"unterminated" ]
+
+let json_floats_deterministic () =
+  check Alcotest.string "integral float" "1.0" (Json.to_string (Json.Float 1.0));
+  check Alcotest.string "fraction" "0.1" (Json.to_string (Json.Float 0.1));
+  (* shortest form that round-trips exactly *)
+  let f = 22.145835939275589 in
+  match Json.of_string (Json.to_string (Json.Float f)) with
+  | Ok (Json.Float f') -> checkb "float round-trips exactly" true (f = f')
+  | other ->
+    Alcotest.failf "unexpected %s"
+      (match other with Ok v -> Json.to_string v | Error m -> m)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let proto_parses_synth () =
+  let line =
+    {|{"id":7,"op":"synth","expr":"x*y + z","vars":[{"name":"x","width":8},{"name":"y","width":8,"signed":true,"arrival":1.5},{"name":"z","width":2,"prob":[0.1,0.9]}],"strategy":"dadda","adder":"ripple","width":2}|}
+  in
+  let line = String.concat "" [ line ] in
+  match P.request_of_line line with
+  | Error d -> Alcotest.fail (Dp_diag.Diag.to_string d)
+  | Ok { id; req } -> (
+    checkb "id echoed" true (id = Json.Int 7);
+    match req with
+    | P.Synth p ->
+      check Alcotest.string "expr" "x*y + z" p.expr_text;
+      checki "vars" 3 (List.length p.vars);
+      let y = List.nth p.vars 1 in
+      checkb "signed" true y.vsigned;
+      checkb "uniform arrival broadcast" true
+        (Array.for_all (fun t -> t = 1.5) y.varrival);
+      let z = List.nth p.vars 2 in
+      checkb "per-bit prob array" true (z.vprob = [| 0.1; 0.9 |]);
+      checkb "strategy" true (p.strategy = Dp_flow.Strategy.Dadda);
+      checkb "adder" true (p.adder = Dp_adders.Adder.Ripple);
+      checkb "width" true (p.width = Some 2)
+    | _ -> Alcotest.fail "expected Synth")
+
+let proto_error_codes () =
+  let code line =
+    match P.request_of_line line with
+    | Ok _ -> Alcotest.failf "%s parsed" line
+    | Error d -> d.Dp_diag.Diag.code
+  in
+  check Alcotest.string "not JSON" "DP-PROTO001" (code "this is not json");
+  check Alcotest.string "no op" "DP-PROTO002" (code {|{"id":1}|});
+  check Alcotest.string "unknown op" "DP-PROTO002" (code {|{"op":"frobnicate"}|});
+  check Alcotest.string "missing expr" "DP-PROTO002" (code {|{"op":"synth"}|});
+  check Alcotest.string "bad expr" "DP-PROTO002"
+    (code {|{"op":"synth","expr":"x +"}|});
+  check Alcotest.string "bad strategy" "DP-PROTO002"
+    (code {|{"op":"synth","expr":"x","strategy":"nope","vars":[{"name":"x","width":4}]}|});
+  check Alcotest.string "bad prob arity" "DP-PROTO002"
+    (code
+       {|{"op":"synth","expr":"x","vars":[{"name":"x","width":4,"prob":[0.5]}]}|})
+
+let proto_request_round_trips () =
+  let p =
+    match
+      P.synth_params
+        ~vars:
+          [
+            P.var_spec "x" ~width:8;
+            P.var_spec ~signed:true ~arrival:(Array.make 4 2.5) "y" ~width:4;
+          ]
+        ~width:(Some 10) ~strategy:Dp_flow.Strategy.Csa_opt "x*y - 3"
+    with
+    | Ok p -> p
+    | Error d -> Alcotest.fail (Dp_diag.Diag.to_string d)
+  in
+  let envelope = { P.id = Json.Int 3; req = P.Synth p } in
+  match P.request_of_json (Json.of_string (Json.to_string (P.request_to_json envelope)) |> Result.get_ok) with
+  | Error d -> Alcotest.fail (Dp_diag.Diag.to_string d)
+  | Ok { id; req } -> (
+    checkb "id" true (id = Json.Int 3);
+    match req with
+    | P.Synth p' ->
+      check Alcotest.string "expr" p.expr_text p'.expr_text;
+      checkb "width" true (p'.width = Some 10);
+      checkb "strategy" true (p'.strategy = Dp_flow.Strategy.Csa_opt);
+      let y = List.nth p'.vars 1 in
+      checkb "signed survives" true y.vsigned;
+      checkb "arrival survives" true (y.varrival = Array.make 4 2.5)
+    | _ -> Alcotest.fail "expected Synth")
+
+(* ------------------------------------------------------------------ *)
+(* In-process server over a real socket *)
+
+let socket_counter = ref 0
+
+let fresh_socket () =
+  incr socket_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dpsyn-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+  in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let with_server ?(configure = fun c -> c) f =
+  let socket = fresh_socket () in
+  let config = configure (S.Server.default_config ~socket_path:socket) in
+  let t = S.Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      S.Server.request_shutdown t;
+      S.Server.wait t)
+    (fun () -> f socket t)
+
+let rpc socket request =
+  match S.Client.connect socket with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> S.Client.close c)
+      (fun () ->
+        match S.Client.rpc c request with
+        | Ok response -> response
+        | Error msg -> Alcotest.fail msg)
+
+let synth_json ?(expr = "x*y + z") ?(id = 1) () =
+  Json.Obj
+    [
+      ("id", Json.Int id);
+      ("op", Json.Str "synth");
+      ("expr", Json.Str expr);
+      ( "vars",
+        Json.List
+          (List.map
+             (fun n ->
+               Json.Obj [ ("name", Json.Str n); ("width", Json.Int 8) ])
+             [ "x"; "y"; "z" ]) );
+    ]
+
+let get path j =
+  List.fold_left
+    (fun acc k ->
+      match Option.bind acc (Json.member k) with
+      | Some v -> Some v
+      | None -> None)
+    (Some j) path
+
+let get_bool path j = Option.bind (get path j) Json.to_bool
+let get_str path j = Option.bind (get path j) Json.to_str
+let get_int path j = Option.bind (get path j) Json.to_int
+
+let server_synth_and_cache () =
+  with_server @@ fun socket _ ->
+  let r1 = rpc socket (synth_json ()) in
+  checkb "ok" true (get_bool [ "ok" ] r1 = Some true);
+  checkb "id echoed" true (get_int [ "id" ] r1 = Some 1);
+  checkb "fresh" true (get_bool [ "cached" ] r1 = Some false);
+  checkb "schema" true
+    (get_str [ "result"; "schema" ] r1 = Some "dpsyn-result/1");
+  checkb "digest present" true
+    (match get_str [ "result"; "digest" ] r1 with
+    | Some d -> String.length d = 32
+    | None -> false);
+  (* repeat: served from cache, record byte-identical *)
+  let r2 = rpc socket (synth_json ()) in
+  checkb "cached" true (get_bool [ "cached" ] r2 = Some true);
+  check Alcotest.string "records byte-identical"
+    (Json.to_string (Option.get (get [ "result" ] r1)))
+    (Json.to_string (Option.get (get [ "result" ] r2)));
+  (* a canonical reordering also hits *)
+  let r3 = rpc socket (synth_json ~expr:"z + y*x" ()) in
+  checkb "reordering hits" true (get_bool [ "cached" ] r3 = Some true);
+  check Alcotest.string "same digest"
+    (Option.get (get_str [ "result"; "digest" ] r1))
+    (Option.get (get_str [ "result"; "digest" ] r3))
+
+let server_batch_order_and_errors () =
+  with_server @@ fun socket _ ->
+  let elem expr vars =
+    Json.Obj
+      [
+        ("expr", Json.Str expr);
+        ( "vars",
+          Json.List
+            (List.map
+               (fun n ->
+                 Json.Obj [ ("name", Json.Str n); ("width", Json.Int 6) ])
+               vars) );
+      ]
+  in
+  let req =
+    Json.Obj
+      [
+        ("id", Json.Int 9);
+        ("op", Json.Str "batch");
+        ( "requests",
+          Json.List
+            [
+              elem "a + b" [ "a"; "b" ];
+              elem "a * nope" [ "a" ] (* unbound: must fail in place *);
+              elem "a - b" [ "a"; "b" ];
+            ] );
+      ]
+  in
+  let r = rpc socket req in
+  checkb "envelope ok" true (get_bool [ "ok" ] r = Some true);
+  match Option.bind (get [ "results" ] r) Json.to_list with
+  | Some [ e1; e2; e3 ] ->
+    checkb "first ok" true (get_bool [ "ok" ] e1 = Some true);
+    check Alcotest.string "order preserved" "a + b"
+      (Option.get (get_str [ "result"; "expr" ] e1));
+    checkb "second failed" true (get_bool [ "ok" ] e2 = Some false);
+    check Alcotest.string "typed diagnostic" "DP-ENV003"
+      (Option.get (get_str [ "error"; "code" ] e2));
+    checkb "third ok" true (get_bool [ "ok" ] e3 = Some true);
+    check Alcotest.string "order preserved" "a - b"
+      (Option.get (get_str [ "result"; "expr" ] e3))
+  | _ -> Alcotest.fail "expected exactly 3 batch elements"
+
+let server_survives_bad_input () =
+  with_server @@ fun socket _ ->
+  match S.Client.connect socket with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> S.Client.close c)
+      (fun () ->
+        S.Client.send_line c "garbage that is not json";
+        (match S.Client.recv_line c with
+        | None -> Alcotest.fail "connection died on bad input"
+        | Some line ->
+          let j = Result.get_ok (Json.of_string line) in
+          checkb "error envelope" true (get_bool [ "ok" ] j = Some false);
+          check Alcotest.string "code" "DP-PROTO001"
+            (Option.get (get_str [ "error"; "code" ] j)));
+        (* a field-validation failure still echoes the request id *)
+        S.Client.send_line c {|{"id":9,"op":"nope"}|};
+        (match S.Client.recv_line c with
+        | None -> Alcotest.fail "connection died on bad op"
+        | Some line ->
+          let j = Result.get_ok (Json.of_string line) in
+          checkb "id recovered" true (get_int [ "id" ] j = Some 9);
+          check Alcotest.string "code" "DP-PROTO002"
+            (Option.get (get_str [ "error"; "code" ] j)));
+        (* the same connection still serves a valid request *)
+        match S.Client.rpc c (synth_json ()) with
+        | Error msg -> Alcotest.fail msg
+        | Ok r -> checkb "still usable" true (get_bool [ "ok" ] r = Some true))
+
+let server_stats () =
+  with_server @@ fun socket _ ->
+  ignore (rpc socket (synth_json ()));
+  ignore (rpc socket (synth_json ()));
+  let r = rpc socket (Json.Obj [ ("id", Json.Int 2); ("op", Json.Str "stats") ]) in
+  checkb "ok" true (get_bool [ "ok" ] r = Some true);
+  checkb "served" true (get_int [ "stats"; "served" ] r = Some 2);
+  checkb "cache hit counted" true
+    (get_int [ "stats"; "cache"; "hits" ] r = Some 1);
+  checkb "cache miss counted" true
+    (get_int [ "stats"; "cache"; "misses" ] r = Some 1);
+  match Option.bind (get [ "stats"; "latency_ms" ] r) Json.to_list with
+  | Some buckets ->
+    let total =
+      List.fold_left
+        (fun acc b -> acc + Option.value (get_int [ "count" ] b) ~default:0)
+        0 buckets
+    in
+    checki "every request lands in a latency bucket" 2 total
+  | None -> Alcotest.fail "missing latency histogram"
+
+let server_enforces_cell_budget () =
+  (* max_cells is deterministic (unlike wall-clock), so the budget error
+     path over the wire is testable without flakiness *)
+  let configure c =
+    { c with S.Server.budget = { Fz.Budget.unlimited with max_cells = 40 } }
+  in
+  with_server ~configure @@ fun socket _ ->
+  let r = rpc socket (synth_json ~expr:"x*y + z" ()) in
+  checkb "rejected" true (get_bool [ "ok" ] r = Some false);
+  check Alcotest.string "code" "DP-BUDGET002"
+    (Option.get (get_str [ "error"; "code" ] r));
+  (* a small request on the same server still fits the budget *)
+  let ok =
+    rpc socket
+      (Json.Obj
+         [
+           ("id", Json.Int 2);
+           ("op", Json.Str "synth");
+           ("expr", Json.Str "x + 1");
+           ( "vars",
+             Json.List [ Json.Obj [ ("name", Json.Str "x"); ("width", Json.Int 2) ] ] );
+         ])
+  in
+  checkb "small request survives" true (get_bool [ "ok" ] ok = Some true)
+
+let server_shutdown_op () =
+  let socket = fresh_socket () in
+  let t = S.Server.start (S.Server.default_config ~socket_path:socket) in
+  let r = rpc socket (Json.Obj [ ("id", Json.Int 1); ("op", Json.Str "shutdown") ]) in
+  checkb "ok" true (get_bool [ "ok" ] r = Some true);
+  (* wait must return: the accept loop and the workers all exit *)
+  S.Server.wait t;
+  checkb "socket file removed" false (Sys.file_exists socket)
+
+(* ------------------------------------------------------------------ *)
+(* Reentrant wall-clock budgets *)
+
+let spin_until deadline_s =
+  let t0 = Unix.gettimeofday () in
+  let rec go acc =
+    if Unix.gettimeofday () -. t0 > deadline_s then acc
+    else go (acc + (acc mod 7))
+  in
+  go 1
+
+let budget_code f =
+  match f () with
+  | _ -> "no-exception"
+  | exception Dp_diag.Diag.E d -> d.Dp_diag.Diag.code
+
+let nested_inner_timeout_fires () =
+  let outer = { Fz.Budget.unlimited with timeout_s = 10.0 } in
+  let inner = { Fz.Budget.unlimited with timeout_s = 0.05 } in
+  let inner_code = ref "unset" in
+  let v =
+    Fz.Budget.with_timeout outer (fun () ->
+        (inner_code :=
+           budget_code (fun () ->
+               Fz.Budget.with_timeout inner (fun () -> spin_until 5.0)));
+        (* the outer budget survives the inner expiry *)
+        42)
+  in
+  check Alcotest.string "inner code" "DP-BUDGET001" !inner_code;
+  checki "outer completes" 42 v;
+  (* process timer fully restored *)
+  let it = Unix.getitimer Unix.ITIMER_REAL in
+  checkb "timer disarmed" true (it.Unix.it_value = 0.0)
+
+let nested_outer_timeout_wins () =
+  let outer = { Fz.Budget.unlimited with timeout_s = 0.05 } in
+  let inner = { Fz.Budget.unlimited with timeout_s = 10.0 } in
+  let t0 = Unix.gettimeofday () in
+  let code =
+    budget_code (fun () ->
+        Fz.Budget.with_timeout outer (fun () ->
+            Fz.Budget.with_timeout inner (fun () -> spin_until 5.0)))
+  in
+  check Alcotest.string "outer's DP-BUDGET001 propagates" "DP-BUDGET001" code;
+  checkb "fired promptly, not after the inner allowance" true
+    (Unix.gettimeofday () -. t0 < 5.0)
+
+let budget_reusable_after_nesting () =
+  nested_inner_timeout_fires ();
+  (* plain single-level use still works after nested traffic *)
+  let b = { Fz.Budget.unlimited with timeout_s = 0.05 } in
+  let code =
+    budget_code (fun () -> Fz.Budget.with_timeout b (fun () -> spin_until 5.0))
+  in
+  check Alcotest.string "still fires" "DP-BUDGET001" code;
+  checki "and still completes fast work" 7
+    (Fz.Budget.with_timeout b (fun () -> 7))
+
+let concurrent_budgets_are_independent () =
+  (* two threads, each under its own budget: the short one times out, the
+     long one finishes — no cross-thread misattribution *)
+  let short_code = ref "unset" in
+  let long_result = ref 0 in
+  let short =
+    Thread.create
+      (fun () ->
+        short_code :=
+          budget_code (fun () ->
+              Fz.Budget.with_timeout
+                { Fz.Budget.unlimited with timeout_s = 0.05 }
+                (fun () -> spin_until 5.0)))
+      ()
+  in
+  let long =
+    Thread.create
+      (fun () ->
+        long_result :=
+          Fz.Budget.with_timeout
+            { Fz.Budget.unlimited with timeout_s = 10.0 }
+            (fun () ->
+              ignore (spin_until 0.2);
+              99))
+      ()
+  in
+  Thread.join short;
+  Thread.join long;
+  check Alcotest.string "short thread timed out" "DP-BUDGET001" !short_code;
+  checki "long thread unaffected" 99 !long_result
+
+let suite =
+  [
+    case "json: printer/parser round-trips" json_round_trips;
+    case "json: rejects malformed input" json_rejects_malformed;
+    case "json: deterministic float emission" json_floats_deterministic;
+    case "protocol: parses a synth request" proto_parses_synth;
+    case "protocol: DP-PROTO001/002 on bad input" proto_error_codes;
+    case "protocol: client request round-trips" proto_request_round_trips;
+    case "server: synth, cache hit, canonical reuse" server_synth_and_cache;
+    case "server: batch keeps order, errors in place" server_batch_order_and_errors;
+    case "server: survives malformed lines" server_survives_bad_input;
+    case "server: stats counters and histogram" server_stats;
+    case "server: per-request cell budget" server_enforces_cell_budget;
+    case "server: shutdown op stops everything" server_shutdown_op;
+    case "budget: nested inner timeout fires alone" nested_inner_timeout_fires;
+    case "budget: nested outer timeout wins" nested_outer_timeout_wins;
+    case "budget: reusable after nesting" budget_reusable_after_nesting;
+    case "budget: concurrent budgets independent" concurrent_budgets_are_independent;
+  ]
