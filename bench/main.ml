@@ -737,6 +737,44 @@ let speed_case_meta () =
         ("misses", Json.Int s.misses);
       ]
   in
+  (* End-to-end server throughput: an in-process soak (N client threads
+     against the socket server), plain and with seeded chaos injection.
+     The delta between the two is the latency/throughput tax of the
+     resilience machinery actually firing. *)
+  let soak_case name ~chaos =
+    let fresh tag =
+      let path = Filename.temp_file "dpsyn-bench" tag in
+      Sys.remove path;
+      path
+    in
+    let r =
+      Dp_server.Soak.run
+        {
+          (Dp_server.Soak.default_config ~socket_path:(fresh ".sock")) with
+          Dp_server.Soak.clients = 3;
+          requests_per_client = (if !quick then 8 else 25);
+          seed = 11;
+          chaos =
+            (if chaos then
+               Some { Dp_server.Chaos.default_config with seed = 11; every = 6 }
+             else None);
+          cache_dir = Some (fresh ".cache");
+          deadline_ms = Some 5000.0;
+        }
+    in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("requests", Json.Int r.requests);
+        ("ok", Json.Int r.ok);
+        ("typed_errors", Json.Int r.typed_errors);
+        ("wrong_answers", Json.Int r.wrong_answers);
+        ("violations", Json.Int r.violations);
+        ("requests_per_s", Json.Num r.throughput_rps);
+        ("p50_ms", Json.Num r.p50_ms);
+        ("p99_ms", Json.Num r.p99_ms);
+      ]
+  in
   [
     column_case "reduce/sc_t_n64" 64 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
     column_case "reduce/sc_t_n256" 256 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
@@ -744,6 +782,8 @@ let speed_case_meta () =
     mult_case "reduce/fa_aot_mult24" 24;
     sim_case "sim/idct_fa_aot";
     serve_case "serve/batch_4designs";
+    soak_case "soak/plain" ~chaos:false;
+    soak_case "soak/chaos" ~chaos:true;
   ]
 
 let bechamel_tests () =

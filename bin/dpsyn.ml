@@ -731,8 +731,62 @@ let serve_cmd =
   let no_cache_arg =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the netlist cache.")
   in
+  let crash_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write a .repro crash dump (fuzz-corpus format) for every worker \
+             crash.")
+  in
+  let max_crashes_arg =
+    Arg.(
+      value
+      & opt int Dp_server.Supervisor.default_policy.max_crashes
+      & info [ "max-crashes" ] ~docv:"N"
+          ~doc:
+            "Worker crashes tolerated per window before the circuit breaker \
+             opens.")
+  in
+  let cooldown_arg =
+    Arg.(
+      value
+      & opt float Dp_server.Supervisor.default_policy.cooldown_s
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+          ~doc:"Open-breaker cooldown before the half-open probe.")
+  in
+  let guard_arg =
+    Arg.(
+      value & flag
+      & info [ "guard-responses" ]
+          ~doc:
+            "Lint every outgoing netlist; findings become DP-SRV-CORRUPT \
+             errors instead of wrong answers (always on under --chaos).")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Inject seeded faults (worker panics, stalls, torn responses, \
+             cache corruption, result corruption) to exercise the resilience \
+             layer.  Testing only.")
+  in
+  let chaos_every_arg =
+    Arg.(
+      value
+      & opt int Dp_server.Chaos.default_config.every
+      & info [ "chaos-every" ] ~docv:"K" ~doc:"Inject on every Kth action.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Chaos schedule seed.")
+  in
   let action socket workers queue_depth timeout max_cells cache_dir capacity
-      no_cache tech =
+      no_cache tech crash_dir max_crashes cooldown guard chaos chaos_every
+      chaos_seed =
     let store =
       if no_cache then None
       else Some (Dp_cache.Store.create ~capacity ?dir:cache_dir ())
@@ -747,6 +801,24 @@ let serve_cmd =
           { Dp_fuzz.Budget.default with timeout_s = timeout; max_cells };
         tech;
         log = (fun msg -> Fmt.epr "dpsyn serve: %s@." msg);
+        supervisor =
+          {
+            Dp_server.Supervisor.default_policy with
+            max_crashes;
+            cooldown_s = cooldown;
+          };
+        crash_dir;
+        chaos =
+          (if chaos then
+             Some
+               {
+                 Dp_server.Chaos.default_config with
+                 seed = chaos_seed;
+                 every = chaos_every;
+               }
+           else None);
+        guard_responses = guard;
+        handle_signals = true;
       }
     in
     match Dp_server.Server.run config with
@@ -759,17 +831,39 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve synthesis over a Unix-domain socket (line-delimited JSON; \
-          see doc/protocol.md) with a canonicalizing netlist cache")
+          see doc/protocol.md) with a canonicalizing netlist cache, worker \
+          supervision and deadline enforcement")
     Term.(
       const action $ socket_arg $ workers_arg $ queue_arg $ timeout_arg
-      $ max_cells_arg $ cache_dir_arg $ capacity_arg $ no_cache_arg $ tech_arg)
+      $ max_cells_arg $ cache_dir_arg $ capacity_arg $ no_cache_arg $ tech_arg
+      $ crash_dir_arg $ max_crashes_arg $ cooldown_arg $ guard_arg $ chaos_arg
+      $ chaos_every_arg $ chaos_seed_arg)
 
-let connect_or_die socket =
-  match Dp_server.Client.connect socket with
-  | Ok c -> c
-  | Error msg ->
-    Fmt.epr "error: %s@." msg;
-    exit 1
+(* Shared retry flags for the client-side commands. *)
+let retries_arg =
+  Arg.(
+    value
+    & opt int Dp_server.Client.default_retry.attempts
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total attempts (including the first) for retryable failures \
+           (transport errors, DP-SRV-CRASH, DP-SRV-OVERLOAD); retried \
+           requests are answered from the server's cache, so retrying is \
+           idempotent.")
+
+let attempt_timeout_arg =
+  Arg.(
+    value
+    & opt float Dp_server.Client.default_retry.per_attempt_timeout_s
+    & info [ "attempt-timeout" ] ~docv:"SECONDS"
+        ~doc:"Client-side timeout per attempt; 0 disables.")
+
+let retry_of ~retries ~attempt_timeout =
+  {
+    Dp_server.Client.default_retry with
+    attempts = max 1 retries;
+    per_attempt_timeout_s = attempt_timeout;
+  }
 
 let client_cmd =
   let op_arg =
@@ -789,8 +883,18 @@ let client_cmd =
       value & flag
       & info [ "emit-verilog" ] ~doc:"Ask for the full Verilog text in the record.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Request deadline: the server fails the request fast with \
+             DP-SRV-DEADLINE if it cannot finish (queue wait included) \
+             within MS milliseconds.")
+  in
   let action socket op expr vars width strategy adder recoding multiplier_style
-      check_level emit_verilog =
+      check_level emit_verilog deadline_ms retries attempt_timeout =
     let envelope =
       match op with
       | `Stats -> { Dp_server.Protocol.id = Dp_server.Json.Int 1; req = Stats }
@@ -805,20 +909,20 @@ let client_cmd =
             Dp_server.Protocol.synth_params ~vars:(var_specs_of_vars vars)
               ~width ~strategy ~adder
               ~lower_config:{ recoding; multiplier_style }
-              ~check_level ~emit_verilog
+              ~check_level ~emit_verilog ~deadline_ms
               (Dp_expr.Ast.to_string expr)
           with
           | Error d -> fail_diag_json d
           | Ok p ->
             { Dp_server.Protocol.id = Dp_server.Json.Int 1; req = Synth p }))
     in
-    let c = connect_or_die socket in
-    let r = Dp_server.Client.rpc c (Dp_server.Protocol.request_to_json envelope) in
-    Dp_server.Client.close c;
-    match r with
-    | Error msg ->
-      Fmt.epr "error: %s@." msg;
-      exit 1
+    match
+      Dp_server.Client.call
+        ~retry:(retry_of ~retries ~attempt_timeout)
+        ~socket
+        (Dp_server.Protocol.request_to_json envelope)
+    with
+    | Error d -> fail_diag d
     | Ok response ->
       print_endline (Dp_server.Json.to_string response);
       (match Dp_server.Json.(member "ok" response |> Fun.flip Option.bind to_bool) with
@@ -832,7 +936,7 @@ let client_cmd =
       const action $ socket_arg $ op_arg $ expr_opt $ vars_arg $ width_arg
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
       $ adder_arg $ recoding_arg $ multiplier_arg $ check_level_arg
-      $ emit_verilog_arg)
+      $ emit_verilog_arg $ deadline_arg $ retries_arg $ attempt_timeout_arg)
 
 let batch_cmd =
   let file_arg =
@@ -880,7 +984,7 @@ let batch_cmd =
         | Error d -> fail_diag_json d)
       Dp_designs.Catalog.all
   in
-  let action socket file designs summary strategy adder =
+  let action socket file designs summary strategy adder retries attempt_timeout =
     let params =
       match (file, designs) with
       | Some path, false -> params_of_file path
@@ -892,13 +996,13 @@ let batch_cmd =
     let envelope =
       { Dp_server.Protocol.id = Dp_server.Json.Int 1; req = Batch params }
     in
-    let c = connect_or_die socket in
-    let r = Dp_server.Client.rpc c (Dp_server.Protocol.request_to_json envelope) in
-    Dp_server.Client.close c;
-    match r with
-    | Error msg ->
-      Fmt.epr "error: %s@." msg;
-      exit 1
+    match
+      Dp_server.Client.call
+        ~retry:(retry_of ~retries ~attempt_timeout)
+        ~socket
+        (Dp_server.Protocol.request_to_json envelope)
+    with
+    | Error d -> fail_diag d
     | Ok response -> (
       let open Dp_server.Json in
       match member "results" response |> Fun.flip Option.bind to_list with
@@ -950,7 +1054,125 @@ let batch_cmd =
     Term.(
       const action $ socket_arg $ file_arg $ designs_arg $ summary_arg
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
-      $ adder_arg)
+      $ adder_arg $ retries_arg $ attempt_timeout_arg)
+
+let soak_cmd =
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client thread.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Deterministic schedule for requests and chaos.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Server worker threads.")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ] ~doc:"Inject seeded faults while soaking.")
+  in
+  let chaos_every_arg =
+    Arg.(
+      value
+      & opt int Dp_server.Chaos.default_config.every
+      & info [ "chaos-every" ] ~docv:"K" ~doc:"Inject on every Kth action.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "On-disk cache for the soaked server (gives cache-corruption \
+             chaos something to corrupt).")
+  in
+  let crash_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash-dir" ] ~docv:"DIR" ~doc:"Crash-dump corpus directory.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Attach this deadline to every 5th request.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the dpsyn-soak/1 report object to FILE.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress server log lines.")
+  in
+  let action socket clients requests seed workers chaos chaos_every cache_dir
+      crash_dir deadline_ms json_out quiet =
+    let config =
+      {
+        Dp_server.Soak.socket_path = socket;
+        clients;
+        requests_per_client = requests;
+        seed;
+        workers;
+        chaos =
+          (if chaos then
+             Some
+               {
+                 Dp_server.Chaos.default_config with
+                 seed;
+                 every = chaos_every;
+               }
+           else None);
+        cache_dir;
+        crash_dir;
+        deadline_ms;
+        log =
+          (if quiet then ignore
+           else fun msg -> Fmt.epr "dpsyn soak: %s@." msg);
+      }
+    in
+    let report = Dp_server.Soak.run config in
+    Fmt.pr "%a@." Dp_server.Soak.pp_report report;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (Dp_server.Json.to_string (Dp_server.Soak.report_json report));
+          output_char oc '\n'));
+    if not (Dp_server.Soak.passed report) then begin
+      Fmt.epr
+        "soak FAILED: %d protocol violations, %d wrong answers@."
+        report.violations report.wrong_answers;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Hammer an in-process (optionally chaos-injected) server from \
+          concurrent clients; fails on any protocol violation or wrong \
+          answer")
+    Term.(
+      const action $ socket_arg $ clients_arg $ requests_arg $ seed_arg
+      $ workers_arg $ chaos_arg $ chaos_every_arg $ cache_dir_arg
+      $ crash_dir_arg $ deadline_arg $ json_out_arg $ quiet_arg)
 
 let () =
   let doc = "fine-grained arithmetic datapath synthesis (DAC 2000 reproduction)" in
@@ -961,4 +1183,5 @@ let () =
           [
             synth_cmd; synth_multi_cmd; compare_cmd; lint_cmd; fuzz_cmd;
             designs_cmd; design_cmd; serve_cmd; client_cmd; batch_cmd;
+            soak_cmd;
           ]))

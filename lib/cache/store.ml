@@ -222,3 +222,12 @@ let mem_digests t =
     | Some n -> go (n.digest :: acc) n.next
   in
   go [] t.head
+
+let dir t = t.dir
+
+let invalidate_memory t =
+  Mutex.protect t.lock @@ fun () ->
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0

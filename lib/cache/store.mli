@@ -44,3 +44,12 @@ val stats : t -> stats
 
 (** In-memory digests, most recently used first (test hook). *)
 val mem_digests : t -> string list
+
+(** The on-disk store directory, when one was configured. *)
+val dir : t -> string option
+
+(** Drop every in-memory entry (disk entries survive), forcing the next
+    lookups through the disk path and its corruption defenses.  A chaos /
+    test hook; harmless under concurrent use — evicted lookups degrade
+    to disk hits or misses. *)
+val invalidate_memory : t -> unit

@@ -75,6 +75,23 @@ let check_cells b netlist =
                ("max_cells", string_of_int b.max_cells) ]
            "netlist has %d cells, over the budget of %d" cells b.max_cells)
 
+(* A budget tightened so its wall-clock allowance also fits an absolute
+   deadline: the request must finish by [deadline], so the effective
+   timeout is the smaller of the configured budget and the time left.  A
+   deadline already passed clamps to an (arbitrary, tiny) positive value
+   rather than 0.0, which would *disable* the timer — callers should
+   fail such requests fast instead of starting them, but a race between
+   the check and the clamp must still time out, not run forever. *)
+let clamp_deadline b ~now ~deadline =
+  match deadline with
+  | None -> b
+  | Some d ->
+    let remaining = Float.max (d -. now) 1e-3 in
+    let timeout_s =
+      if b.timeout_s <= 0.0 then remaining else Float.min b.timeout_s remaining
+    in
+    { b with timeout_s }
+
 (* Reentrant wall-clock budgets over the single process-wide ITIMER_REAL.
 
    Every active [with_timeout] pushes a {e frame} (absolute deadline plus

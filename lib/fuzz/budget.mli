@@ -31,6 +31,14 @@ val check_static : t -> Case.t -> (unit, Dp_diag.Diag.t) result
 (** [DP-BUDGET002] if the built netlist exceeds [max_cells]. *)
 val check_cells : t -> Dp_netlist.Netlist.t -> (unit, Dp_diag.Diag.t) result
 
+(** [clamp_deadline b ~now ~deadline] tightens [timeout_s] so the work
+    also finishes by the absolute [deadline] ([None] = unchanged): the
+    synthesis server derives each request's effective budget from the
+    client deadline minus the time already spent queueing.  An expired
+    deadline clamps to a tiny positive timeout (never 0.0, which would
+    disable the timer). *)
+val clamp_deadline : t -> now:float -> deadline:float option -> t
+
 (** [with_timeout b f] runs [f] under an interval timer and raises
     [Dp_diag.Diag.E] with [DP-BUDGET001] if it exceeds [timeout_s].
     Exception-safe: the timer and previous [SIGALRM] handler are always

@@ -160,7 +160,15 @@ let load_dir dir =
     in
     go [] files
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
 let save ~dir e =
+  mkdir_p dir;
   let text = to_string e in
   let tag =
     String.lowercase_ascii (Option.value e.diag_code ~default:"case")

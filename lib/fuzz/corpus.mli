@@ -46,6 +46,7 @@ val load_file : string -> (entry, Dp_diag.Diag.t) result
 (** Every [*.repro] file in the directory, sorted by filename. *)
 val load_dir : string -> ((string * entry) list, Dp_diag.Diag.t) result
 
-(** Write the entry under [dir] with a deterministic content-derived
-    filename ([<code>-<hash>.repro]); returns the path. *)
+(** Write the entry under [dir] (created, with parents, if missing) with
+    a deterministic content-derived filename ([<code>-<hash>.repro]);
+    returns the path. *)
 val save : dir:string -> entry -> string

@@ -1,0 +1,135 @@
+type fault =
+  | Worker_panic
+  | Slow_worker
+  | Truncate_response
+  | Corrupt_cache
+  | Corrupt_result
+
+let all =
+  [ Worker_panic; Slow_worker; Truncate_response; Corrupt_cache; Corrupt_result ]
+
+let fault_name = function
+  | Worker_panic -> "worker_panic"
+  | Slow_worker -> "slow_worker"
+  | Truncate_response -> "truncate_response"
+  | Corrupt_cache -> "corrupt_cache"
+  | Corrupt_result -> "corrupt_result"
+
+exception Panic
+
+type config = { seed : int; every : int; slow_s : float; faults : fault list }
+
+let default_config = { seed = 0; every = 7; slow_s = 0.05; faults = all }
+
+type t = {
+  config : config;
+  rng : Random.State.t;
+  lock : Mutex.t;
+  mutable ticks : int;
+  counts : (fault, int) Hashtbl.t;
+}
+
+let create config =
+  {
+    config;
+    rng = Random.State.make [| config.seed; 0x5eed |];
+    lock = Mutex.create ();
+    ticks = 0;
+    counts = Hashtbl.create 8;
+  }
+
+let slow_s t = t.config.slow_s
+
+let site_faults = function
+  | `Worker -> [ Worker_panic; Slow_worker; Corrupt_cache; Corrupt_result ]
+  | `Respond -> [ Truncate_response ]
+
+(* One global tick counter across all sites: every [every]-th tick picks
+   a fault uniformly from the configured classes, and the pick only
+   lands if that class is meaningful at the calling site — so the
+   per-site injection schedule stays deterministic for a fixed seed and
+   request order, while no site starves the others. *)
+let tick t ~site =
+  if t.config.every <= 0 then None
+  else
+    Mutex.protect t.lock @@ fun () ->
+    t.ticks <- t.ticks + 1;
+    if t.ticks mod t.config.every <> 0 then None
+    else
+      match t.config.faults with
+      | [] -> None
+      | faults ->
+        let f = List.nth faults (Random.State.int t.rng (List.length faults)) in
+        if not (List.mem f (site_faults site)) then None
+        else begin
+          Hashtbl.replace t.counts f
+            (1 + Option.value (Hashtbl.find_opt t.counts f) ~default:0);
+          Some f
+        end
+
+let injected t =
+  Mutex.protect t.lock @@ fun () ->
+  List.filter_map
+    (fun f ->
+      match Hashtbl.find_opt t.counts f with
+      | Some n -> Some (fault_name f, n)
+      | None -> None)
+    all
+
+let corrupt_cache_entry t store =
+  match Dp_cache.Store.dir store with
+  | None -> ()
+  | Some dir -> (
+    match Sys.readdir dir with
+    | exception _ -> ()
+    | files ->
+      let entries =
+        List.sort String.compare
+          (List.filter
+             (fun f -> Filename.check_suffix f ".dpc")
+             (Array.to_list files))
+      in
+      (match entries with
+      | [] -> ()
+      | entries ->
+        let pick =
+          Mutex.protect t.lock @@ fun () ->
+          List.nth entries (Random.State.int t.rng (List.length entries))
+        in
+        let path = Filename.concat dir pick in
+        (* Flip one byte past the magic line so the checksum (or the
+           Marshal decode) trips, exercising the corrupt-entry-as-miss
+           path rather than a missing-file miss. *)
+        (try
+           let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+           Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+           let size = (Unix.fstat fd).Unix.st_size in
+           if size > 0 then begin
+             let pos = size / 2 in
+             ignore (Unix.lseek fd pos Unix.SEEK_SET);
+             let b = Bytes.create 1 in
+             if Unix.read fd b 0 1 = 1 then begin
+               Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+               ignore (Unix.lseek fd pos Unix.SEEK_SET);
+               ignore (Unix.write fd b 0 1)
+             end
+           end
+         with _ -> ());
+        Dp_cache.Store.invalidate_memory store))
+
+(* Deep copy via a Marshal round-trip (the store already Marshals these
+   netlists to disk, so the representation is safe), then mutate the
+   copy — the shared cache entry must never be poisoned by chaos. *)
+let corrupt_netlist t netlist =
+  let copy : Dp_netlist.Netlist.t =
+    Marshal.from_string (Marshal.to_string netlist []) 0
+  in
+  let seed, mutation =
+    Mutex.protect t.lock @@ fun () ->
+    let muts = Dp_verify.Inject.all in
+    ( Random.State.int t.rng 0x3fffffff,
+      List.nth muts (Random.State.int t.rng (List.length muts)) )
+  in
+  match Dp_verify.Inject.apply ~seed copy mutation with
+  | Some _ -> Some copy
+  | None -> None

@@ -1,0 +1,73 @@
+(** Seeded fault injection for the serving layer — the server-side
+    counterpart of [Dp_verify.Inject].  A chaos-enabled server
+    deliberately provokes each failure mode the resilience layer claims
+    to survive, so the soak driver (and the [chaos-smoke] CI job) can
+    assert the degradation paths instead of trusting them:
+
+    - {!Worker_panic} — an exception escapes the worker's job boundary;
+      the supervisor must convert it to [DP-SRV-CRASH], dump a repro,
+      and restart the worker.
+    - {!Slow_worker} — the worker stalls before synthesizing; queued
+      requests with deadlines must fail fast with [DP-SRV-DEADLINE].
+    - {!Truncate_response} — the response line is cut mid-byte and the
+      connection closed; the client must see [DP-PROTO003], never a
+      half-parsed JSON document.
+    - {!Corrupt_cache} — an on-disk cache entry is overwritten with
+      garbage and the in-memory LRU dropped; the store must degrade to
+      a miss and re-synthesize, never serve the corrupt bytes.
+    - {!Corrupt_result} — a [Dp_verify.Inject] mutation is applied to a
+      {e deep copy} of the outcome netlist before delivery; the server's
+      response lint guard must catch it as [DP-SRV-CORRUPT] instead of
+      emitting a wrong answer.  (The copy keeps the cache clean.)
+
+    Faults fire every [every]-th tick, cycling deterministically from
+    [seed]; with the same seed and request schedule a run is
+    reproducible. *)
+
+type fault =
+  | Worker_panic
+  | Slow_worker
+  | Truncate_response
+  | Corrupt_cache
+  | Corrupt_result
+
+val all : fault list
+val fault_name : fault -> string
+
+(** Raised by {!Worker_panic} at the worker's job boundary. *)
+exception Panic
+
+type config = {
+  seed : int;
+  every : int;  (** inject on every Nth tick; <= 0 disables *)
+  slow_s : float;  (** {!Slow_worker} stall *)
+  faults : fault list;  (** the classes to cycle through *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+(** The configured {!Slow_worker} stall. *)
+val slow_s : t -> float
+
+(** [tick t ~site] — one potential injection point.  Returns the fault
+    to inject, already filtered to the classes meaningful at [site]
+    ([`Worker] or [`Respond]), or [None].  Thread-safe; the global tick
+    counter makes the schedule deterministic per run. *)
+val tick : t -> site:[ `Worker | `Respond ] -> fault option
+
+(** Injections delivered so far, per fault (for stats). *)
+val injected : t -> (string * int) list
+
+(** Overwrite one on-disk entry of [store] with garbage (seeded pick)
+    and drop the in-memory LRU so the next lookup must take the disk
+    path.  No-op without a disk store or with no entries yet. *)
+val corrupt_cache_entry : t -> Dp_cache.Store.t -> unit
+
+(** Apply a seeded [Dp_verify.Inject] mutation to a deep copy of the
+    netlist; returns the corrupted copy (or [None] if no mutation
+    applied). *)
+val corrupt_netlist : t -> Dp_netlist.Netlist.t -> Dp_netlist.Netlist.t option

@@ -1,35 +1,138 @@
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+module Diag = Dp_diag.Diag
+
+type t = { fd : Unix.file_descr; reader : Lineio.t; oc : out_channel }
+
+let transport ?(code = "DP-PROTO004") ~context fmt =
+  Fmt.kstr
+    (fun msg -> Error (Diag.v ~code ~subsystem:"proto" ~context msg))
+    fmt
 
 let connect socket_path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
   | () ->
-    Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    Ok { fd; reader = Lineio.create fd; oc = Unix.out_channel_of_descr fd }
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error
-      (Printf.sprintf "cannot connect to %s: %s" socket_path
-         (Unix.error_message e))
+    transport
+      ~context:[ ("socket", socket_path) ]
+      "cannot connect: %s" (Unix.error_message e)
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
 let send_line c line =
-  output_string c.oc line;
-  output_char c.oc '\n';
-  flush c.oc
+  match
+    output_string c.oc line;
+    output_char c.oc '\n';
+    flush c.oc
+  with
+  | () -> Ok ()
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    transport ~context:[] "connection lost while sending the request"
 
-let recv_line c =
-  match input_line c.ic with
-  | line -> Some line
-  | exception End_of_file -> None
+let recv_response ?deadline c =
+  match Lineio.read_line ?deadline c.reader with
+  | Lineio.Eof ->
+    transport ~context:[]
+      "server closed the connection before responding"
+  | Lineio.Truncated "" when deadline <> None ->
+    transport ~context:[] "timed out waiting for the response"
+  | Lineio.Truncated partial ->
+    transport ~code:"DP-PROTO003"
+      ~context:[ ("buffered_bytes", string_of_int (String.length partial)) ]
+      "response line truncated: stream ended before the newline"
+  | Lineio.Line line -> (
+    match Json.of_string line with
+    | Ok j -> Ok j
+    | Error msg ->
+      transport ~code:"DP-PROTO005"
+        ~context:[ ("detail", msg) ]
+        "response line is not valid JSON")
 
 (* One request, one response line (the protocol is strictly one line per
    request, so this is all a sequential client needs). *)
-let rpc c request =
-  send_line c (Json.to_string request);
-  match recv_line c with
-  | None -> Error "server closed the connection"
-  | Some line -> (
-    match Json.of_string line with
-    | Ok j -> Ok j
-    | Error msg -> Error (Printf.sprintf "bad response line: %s" msg))
+let rpc ?deadline c request =
+  match send_line c (Json.to_string request) with
+  | Error _ as e -> e
+  | Ok () -> recv_response ?deadline c
 
-let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+(* ------------------------------------------------------------------ *)
+(* Retry loop *)
+
+type retry = {
+  attempts : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+  per_attempt_timeout_s : float;
+  seed : int;
+}
+
+let default_retry =
+  {
+    attempts = 3;
+    base_backoff_s = 0.05;
+    max_backoff_s = 2.0;
+    per_attempt_timeout_s = 30.0;
+    seed = 0;
+  }
+
+let retryable (d : Diag.t) =
+  match d.code with
+  | "DP-PROTO003" | "DP-PROTO004" | "DP-SRV-CRASH" | "DP-SRV-OVERLOAD" -> true
+  | _ -> false
+
+let envelope_diag response =
+  match Json.member "ok" response |> Fun.flip Option.bind Json.to_bool with
+  | Some false -> (
+    match Json.member "error" response with
+    | Some err -> (
+      match Json.member "code" err |> Fun.flip Option.bind Json.to_str with
+      | Some code ->
+        let message =
+          Option.value
+            (Json.member "message" err |> Fun.flip Option.bind Json.to_str)
+            ~default:""
+        in
+        Some (Diag.v ~code ~subsystem:"proto" message)
+      | None -> None)
+    | None -> None)
+  | _ -> None
+
+let call ?(retry = default_retry) ~socket request =
+  let rng = Random.State.make [| retry.seed; 0xc11e |] in
+  let attempts = max 1 retry.attempts in
+  let backoff k =
+    (* exponential with full jitter: base * 2^k * [0.5, 1.5) *)
+    let raw = retry.base_backoff_s *. (2.0 ** float_of_int k) in
+    let capped = Float.min raw retry.max_backoff_s in
+    capped *. (0.5 +. Random.State.float rng 1.0)
+  in
+  let attempt () =
+    match connect socket with
+    | Error _ as e -> e
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> close c) @@ fun () ->
+      let deadline =
+        if retry.per_attempt_timeout_s <= 0.0 then None
+        else Some (Unix.gettimeofday () +. retry.per_attempt_timeout_s)
+      in
+      rpc ?deadline c request
+  in
+  let rec go k =
+    let r = attempt () in
+    let verdict =
+      match r with
+      | Error d -> if retryable d then `Retry else `Done
+      | Ok response -> (
+        match envelope_diag response with
+        | Some d when retryable d -> `Retry
+        | _ -> `Done)
+    in
+    match verdict with
+    | `Done -> r
+    | `Retry when k + 1 >= attempts -> r
+    | `Retry ->
+      Thread.delay (backoff k);
+      go (k + 1)
+  in
+  go 0

@@ -1,0 +1,65 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes received but not yet returned *)
+  mutable scanned : int;  (** prefix of [buf] known to hold no '\n' *)
+  chunk : Bytes.t;  (** per-reader, so concurrent connections don't race *)
+}
+
+type read_result = Line of string | Eof | Truncated of string
+
+let create fd = { fd; buf = Buffer.create 512; scanned = 0; chunk = Bytes.create 4096 }
+
+(* Extract the first complete line from the buffer, if any. *)
+let take_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_from_opt s t.scanned '\n' with
+  | None ->
+    t.scanned <- String.length s;
+    None
+  | Some i ->
+    let line = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf rest;
+    t.scanned <- 0;
+    Some line
+
+let drain_buffered t =
+  let s = Buffer.contents t.buf in
+  Buffer.clear t.buf;
+  t.scanned <- 0;
+  s
+
+let read_line ?deadline t =
+  let rec go () =
+    match take_line t with
+    | Some line -> Line line
+    | None -> (
+      (* Wait for readability so a deadline interrupts a stalled peer. *)
+      let timed_out =
+        match deadline with
+        | None -> false
+        | Some d -> (
+          let remaining = d -. Unix.gettimeofday () in
+          remaining <= 0.0
+          ||
+          match Unix.select [ t.fd ] [] [] remaining with
+          | [], _, _ -> true
+          | _ -> false
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> false)
+      in
+      if timed_out then Truncated (drain_buffered t)
+      else
+        match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+        | 0 ->
+          if Buffer.length t.buf = 0 then Eof
+          else Truncated (drain_buffered t)
+        | n ->
+          Buffer.add_subbytes t.buf t.chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          if Buffer.length t.buf = 0 then Eof
+          else Truncated (drain_buffered t))
+  in
+  go ()

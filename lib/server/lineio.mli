@@ -1,0 +1,24 @@
+(** Buffered line reading straight off a file descriptor.
+
+    [input_line] on a channel cannot distinguish "the peer closed after a
+    complete response" from "the peer died mid-line": at EOF it silently
+    returns whatever partial line was buffered, which a JSON parser may
+    then half-accept.  This reader makes the three outcomes explicit, so
+    the protocol layer can map each to the right typed diagnostic:
+
+    - [Line s] — a complete ['\n']-terminated line (terminator stripped);
+      a line split across any number of [read] calls is reassembled.
+    - [Eof] — clean end of stream on a line boundary.
+    - [Truncated s] — the stream ended (or the read deadline passed)
+      with [s] buffered but unterminated: a torn response. *)
+
+type t
+
+type read_result = Line of string | Eof | Truncated of string
+
+val create : Unix.file_descr -> t
+
+(** [read_line ?deadline t] blocks until a full line, EOF, or [deadline]
+    (absolute, [Unix.gettimeofday] clock) — whichever comes first.  A
+    passed deadline with nothing buffered returns [Truncated ""]. *)
+val read_line : ?deadline:float -> t -> read_result

@@ -34,6 +34,7 @@ type synth_params = {
   lower_config : Dp_bitmatrix.Lower.config;
   check_level : Dp_verify.Lint.check_level;
   emit_verilog : bool;
+  deadline_ms : float option;
 }
 
 type request =
@@ -56,7 +57,8 @@ let var_spec ?arrival ?prob ?(signed = false) name ~width =
 let synth_params ?(vars = []) ?(width = None)
     ?(strategy = Dp_flow.Strategy.Fa_aot) ?(adder = Dp_adders.Adder.Cla)
     ?(lower_config = Dp_bitmatrix.Lower.default_config)
-    ?(check_level = Dp_verify.Lint.Off) ?(emit_verilog = false) expr_text =
+    ?(check_level = Dp_verify.Lint.Off) ?(emit_verilog = false)
+    ?(deadline_ms = None) expr_text =
   match Parse.expr expr_text with
   | exception Parse.Error msg ->
     proto_error ~context:[ ("expr", expr_text) ] "%s" msg
@@ -72,6 +74,7 @@ let synth_params ?(vars = []) ?(width = None)
         lower_config;
         check_level;
         emit_verilog;
+        deadline_ms;
       }
 
 let env_of_params p =
@@ -243,9 +246,20 @@ let params_of_json j =
       opt_field j "emit_verilog" Json.to_bool ~default:false
         ~expected:"a boolean"
     in
+    let* deadline_ms =
+      opt_field j "deadline_ms"
+        (fun v -> Option.map Option.some (Json.to_float v))
+        ~default:None ~expected:"a number of milliseconds"
+    in
+    let* deadline_ms =
+      match deadline_ms with
+      | Some d when d <= 0.0 ->
+        field_err "deadline_ms" "expected a positive number of milliseconds"
+      | d -> Ok d
+    in
     synth_params ~vars ~width ~strategy ~adder
       ~lower_config:{ Dp_bitmatrix.Lower.recoding; multiplier_style }
-      ~check_level ~emit_verilog expr_text
+      ~check_level ~emit_verilog ~deadline_ms expr_text
 
 let request_of_json j =
   let id = Option.value (Json.member "id" j) ~default:Json.Null in
@@ -319,7 +333,11 @@ let params_fields p =
       ("multiplier", Json.Str (multiplier_name p.lower_config.multiplier_style));
       ("check_level", Json.Str (Dp_verify.Lint.check_level_name p.check_level));
     ]
-  @ if p.emit_verilog then [ ("emit_verilog", Json.Bool true) ] else []
+  @ (if p.emit_verilog then [ ("emit_verilog", Json.Bool true) ] else [])
+  @
+  match p.deadline_ms with
+  | Some d -> [ ("deadline_ms", Json.Float d) ]
+  | None -> []
 
 let request_to_json { id; req } =
   let id_field = match id with Json.Null -> [] | id -> [ ("id", id) ] in

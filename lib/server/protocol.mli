@@ -25,6 +25,12 @@ type synth_params = {
   lower_config : Dp_bitmatrix.Lower.config;
   check_level : Dp_verify.Lint.check_level;
   emit_verilog : bool;  (** include the full Verilog text in the record *)
+  deadline_ms : float option;
+      (** client budget for the whole request, measured by the server
+          from the moment the request is {e enqueued}; queue wait counts
+          against it, so a request that cannot start in time fails fast
+          with [DP-SRV-DEADLINE] instead of synthesizing a result nobody
+          is waiting for *)
 }
 
 type request =
@@ -47,6 +53,7 @@ val synth_params :
   ?vars:var_spec list -> ?width:int option -> ?strategy:Dp_flow.Strategy.t ->
   ?adder:Dp_adders.Adder.kind -> ?lower_config:Dp_bitmatrix.Lower.config ->
   ?check_level:Dp_verify.Lint.check_level -> ?emit_verilog:bool ->
+  ?deadline_ms:float option ->
   string -> (synth_params, Dp_diag.Diag.t) result
 
 (** Build the input environment ([DP-ENV001/002] on bad attributes). *)

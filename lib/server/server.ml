@@ -4,9 +4,18 @@
    Backpressure is structural: the queue blocks producers once
    [queue_depth] jobs are waiting, so a flood of batch requests slows the
    producing connections down instead of growing memory without bound.
-   Each job runs under the per-request wall-clock/cell-count budget; a
-   blown budget is an ordinary DP-BUDGET* error envelope, and the worker
-   survives to take the next job. *)
+   Each job runs under the per-request wall-clock/cell-count budget
+   (tightened further by the request's own deadline); a blown budget is
+   an ordinary DP-BUDGET* error envelope, and the worker survives to
+   take the next job.
+
+   Above the budget sits the supervision boundary: an exception that
+   escapes a job (a genuine bug — [Synth.run_res] already converts
+   expected failures to diagnostics) is delivered to the waiting client
+   as DP-SRV-CRASH, dumped as a [.repro] into the crash corpus, and
+   counted by the [Supervisor]; the worker backs off and takes the next
+   job, and a crash storm opens the circuit breaker at the admission
+   edge (DP-SRV-OVERLOAD) while queued work drains. *)
 
 module Diag = Dp_diag.Diag
 
@@ -96,6 +105,26 @@ let histogram_json h =
          in
          Json.Obj [ ("le_ms", le); ("count", Json.Int h.counts.(i)) ]))
 
+(* One line per non-empty bucket, for the shutdown flush. *)
+let histogram_summary h =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "latency_ms:";
+  let any = ref false in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        any := true;
+        let le =
+          if i < Array.length latency_bounds_ms then
+            Printf.sprintf "le%d" latency_bounds_ms.(i)
+          else "inf"
+        in
+        Buffer.add_string b (Printf.sprintf " %s=%d" le c)
+      end)
+    h.counts;
+  if not !any then Buffer.add_string b " (empty)";
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 
 type config = {
@@ -106,6 +135,11 @@ type config = {
   budget : Dp_fuzz.Budget.t;
   tech : Dp_tech.Tech.t;
   log : string -> unit;
+  supervisor : Supervisor.policy;
+  crash_dir : string option;
+  chaos : Chaos.config option;
+  guard_responses : bool;
+  handle_signals : bool;
 }
 
 let default_config ~socket_path =
@@ -117,31 +151,46 @@ let default_config ~socket_path =
     budget = { Dp_fuzz.Budget.default with timeout_s = 30.0 };
     tech = Dp_tech.Tech.lcb_like;
     log = ignore;
+    supervisor = Supervisor.default_policy;
+    crash_dir = None;
+    chaos = None;
+    guard_responses = false;
+    handle_signals = false;
   }
 
 type job = {
   params : Protocol.synth_params;
   enqueued_at : float;
+  deadline : float option;  (* absolute, derived from params.deadline_ms *)
+  mutable trial : bool;  (* the half-open breaker's single probe *)
+  mutable delivered : bool;  (* under the slot mutex; crash-path guard *)
   deliver : (Dp_cache.Serve.outcome, Diag.t) result -> unit;
 }
 
 type t = {
   config : config;
   queue : job Bqueue.t;
+  supervisor : Supervisor.t;
+  chaos : Chaos.t option;
   listen_fd : Unix.file_descr;
   (* self-pipe: closing a listen socket does not wake a thread already
-     blocked on it, so shutdown writes one byte here and the accept loop
+     blocked on it, so shutdown (and the SIGTERM/SIGINT handlers, which
+     must not take locks) writes one byte here and the accept loop
      selects on both *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   mutable worker_threads : Thread.t list;
   mutable accept_thread : Thread.t option;
+  mutable signal_thread : Thread.t option;
   state_lock : Mutex.t;
   mutable shutting_down : bool;
   (* counters, all under [state_lock] *)
   mutable served : int;  (** synth results delivered (incl. batch elements) *)
   mutable errors : int;  (** error envelopes/elements delivered *)
   mutable connections : int;
+  mutable deadline_expired : int;  (** jobs failed fast in the queue *)
+  mutable crash_dumps : int;  (** [.repro] files written *)
+  mutable guard_rejects : int;  (** corrupted results caught by the guard *)
   latency : histogram;
 }
 
@@ -150,68 +199,224 @@ let locked t f = Mutex.protect t.state_lock f
 (* ------------------------------------------------------------------ *)
 (* Job execution (worker side) *)
 
-let execute t (p : Protocol.synth_params) =
+(* Request-level failures come back as [Error]; anything else that
+   escapes is a genuine bug ([Synth.run_res] already converts expected
+   exceptions) and belongs to the supervision boundary in
+   [worker_loop]. *)
+let execute t ~budget (p : Protocol.synth_params) =
   match Protocol.serve_request ~tech:t.config.tech p with
   | Error d -> Error d
   | Ok r -> (
-    let budget = t.config.budget in
     match
       Dp_fuzz.Budget.with_timeout budget (fun () ->
           Dp_cache.Serve.run ?store:t.config.store r)
     with
     | Error d -> Error d
     | exception Diag.E d -> Error d
-    | exception Bqueue.Closed -> raise Bqueue.Closed
-    | exception e ->
-      Error
-        (Diag.v ~code:"DP-INTERNAL" ~subsystem:"server"
-           ~context:[ ("exception", Printexc.to_string e) ]
-           "unexpected exception while serving a request")
     | Ok o -> (
       match Dp_fuzz.Budget.check_cells budget o.result.netlist with
       | Ok () -> Ok o
       | Error d -> Error d))
+
+(* Lint outgoing netlists so a corrupted result (chaos, cache rot, or a
+   real lowering bug) becomes a typed error envelope instead of a wrong
+   answer on the wire. *)
+let guard_outcome t (o : Dp_cache.Serve.outcome) =
+  match Dp_verify.Lint.significant (Dp_verify.Lint.run o.result.netlist) with
+  | [] -> Ok o
+  | f :: _ as fs ->
+    locked t (fun () -> t.guard_rejects <- t.guard_rejects + 1);
+    Error
+      (Diag.v ~code:"DP-SRV-CORRUPT" ~subsystem:"server"
+         ~context:
+           [
+             ("findings", string_of_int (List.length fs));
+             ("first", Fmt.str "%a" Dp_verify.Lint.pp_finding f);
+           ]
+         "result failed the response integrity guard; refusing to serve it")
+
+let deliver_and_count t job r =
+  let ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1000.0 in
+  locked t (fun () ->
+      observe t.latency ms;
+      match r with
+      | Ok _ -> t.served <- t.served + 1
+      | Error _ -> t.errors <- t.errors + 1);
+  job.deliver r
+
+(* A crash reproducer in the fuzzer's corpus format: the request's
+   variables (uniform attributes — element 0 stands for the bit-level
+   arrays), its expression at the resolved width, and the
+   strategy/adder pair, so [dpsyn replay] re-runs the exact job that
+   took the worker down. *)
+let crash_entry (p : Protocol.synth_params) exn_text =
+  let attr a d = if Array.length a > 0 then a.(0) else d in
+  let vars =
+    List.map
+      (fun (v : Protocol.var_spec) ->
+        Dp_fuzz.Case.make_var ~signed:v.vsigned ~arrival:(attr v.varrival 0.0)
+          ~prob:(attr v.vprob 0.5) v.vname ~width:v.vwidth)
+      p.vars
+  in
+  let width =
+    match p.width with
+    | Some w -> w
+    | None -> (
+      match Protocol.env_of_params p with
+      | Ok env -> Dp_expr.Range.natural_width env p.expr
+      | Error _ -> 8)
+  in
+  let width = min 62 (max 1 width) in
+  let case = Dp_fuzz.Case.single ~vars p.expr ~width in
+  Dp_fuzz.Corpus.entry ~strategy:p.strategy ~adder:p.adder
+    ~diag_code:"DP-SRV-CRASH"
+    ~comment:(Printf.sprintf "worker crash: %s" exn_text)
+    case
+
+let handle_crash t job exn =
+  let exn_text = Printexc.to_string exn in
+  let repro =
+    match t.config.crash_dir with
+    | None -> None
+    | Some dir -> (
+      try Some (Dp_fuzz.Corpus.save ~dir (crash_entry job.params exn_text))
+      with _ -> None)
+  in
+  (match repro with
+  | Some _ -> locked t (fun () -> t.crash_dumps <- t.crash_dumps + 1)
+  | None -> ());
+  let d =
+    Diag.v ~code:"DP-SRV-CRASH" ~subsystem:"server"
+      ~context:
+        (("exception", exn_text)
+        :: (match repro with Some p -> [ ("repro", p) ] | None -> []))
+      "worker crashed while serving this request"
+  in
+  deliver_and_count t job (Error d);
+  let backoff = Supervisor.record_crash t.supervisor ~trial:job.trial in
+  t.config.log
+    (Printf.sprintf "worker crash (%s)%s; restarting after %.3fs" exn_text
+       (match repro with Some p -> " repro " ^ p | None -> "")
+       backoff);
+  Thread.delay backoff
+
+(* One job, inside the supervision boundary.  Any exception escaping
+   this function is a worker crash. *)
+let process t job =
+  let now = Unix.gettimeofday () in
+  match job.deadline with
+  | Some d when now > d ->
+    (* Fail fast: the client's budget elapsed while the job sat in the
+       queue; synthesizing would produce a result nobody is waiting
+       for, while making every later deadline worse. *)
+    locked t (fun () -> t.deadline_expired <- t.deadline_expired + 1);
+    deliver_and_count t job
+      (Error
+         (Diag.v ~code:"DP-SRV-DEADLINE" ~subsystem:"server"
+            ~context:
+              [ ("queue_wait_ms", Fmt.str "%.1f" ((now -. job.enqueued_at) *. 1000.0)) ]
+            "deadline expired before the request could start"));
+    Supervisor.record_success t.supervisor ~trial:job.trial
+  | _ ->
+    let corrupt_result = ref false in
+    (match t.chaos with
+    | None -> ()
+    | Some c -> (
+      match Chaos.tick c ~site:`Worker with
+      | None -> ()
+      | Some Chaos.Worker_panic -> raise Chaos.Panic
+      | Some Chaos.Slow_worker -> Thread.delay (Chaos.slow_s c)
+      | Some Chaos.Corrupt_cache ->
+        Option.iter (Chaos.corrupt_cache_entry c) t.config.store
+      | Some Chaos.Corrupt_result -> corrupt_result := true
+      | Some Chaos.Truncate_response -> ()));
+    let budget =
+      Dp_fuzz.Budget.clamp_deadline t.config.budget ~now ~deadline:job.deadline
+    in
+    let r = execute t ~budget job.params in
+    let r =
+      match (r, !corrupt_result, t.chaos) with
+      | Ok o, true, Some c -> (
+        (* Mutate a deep copy — the cache's entry stays pristine; the
+           response guard below must catch this before the wire. *)
+        match Chaos.corrupt_netlist c o.result.netlist with
+        | Some n ->
+          Ok
+            {
+              o with
+              Dp_cache.Serve.result = { o.result with Dp_flow.Synth.netlist = n };
+            }
+        | None -> r)
+      | _ -> r
+    in
+    let guard_enabled = t.config.guard_responses || t.chaos <> None in
+    let r =
+      match r with Ok o when guard_enabled -> guard_outcome t o | r -> r
+    in
+    deliver_and_count t job r;
+    Supervisor.record_success t.supervisor ~trial:job.trial
 
 let worker_loop t =
   let rec go () =
     match Bqueue.pop t.queue with
     | None -> ()
     | Some job ->
-      let r = execute t job.params in
-      let ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1000.0 in
-      locked t (fun () ->
-          observe t.latency ms;
-          match r with
-          | Ok _ -> t.served <- t.served + 1
-          | Error _ -> t.errors <- t.errors + 1);
-      job.deliver r;
+      (try process t job with exn -> handle_crash t job exn);
       go ()
   in
   go ()
 
+(* ------------------------------------------------------------------ *)
 (* Enqueue [jobs] and block until every one has delivered. *)
+
 let run_jobs t params_list =
   let n = List.length params_list in
   let slots = Array.make n None in
   let remaining = ref n in
   let m = Mutex.create () in
   let all_done = Condition.create () in
-  List.iteri
-    (fun i p ->
-      let deliver r =
-        Mutex.protect m (fun () ->
-            slots.(i) <- Some r;
-            decr remaining;
-            if !remaining = 0 then Condition.broadcast all_done)
-      in
-      let job = { params = p; enqueued_at = Unix.gettimeofday (); deliver } in
-      try Bqueue.push t.queue job
-      with Bqueue.Closed ->
-        deliver
-          (Error
-             (Diag.v ~code:"DP-INTERNAL" ~subsystem:"server"
-                "server is shutting down")))
-    params_list;
+  let jobs =
+    List.mapi
+      (fun i p ->
+        let rec job =
+          {
+            params = p;
+            enqueued_at = Unix.gettimeofday ();
+            deadline =
+              Option.map
+                (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0))
+                p.Protocol.deadline_ms;
+            trial = false;
+            delivered = false;
+            deliver =
+              (fun r ->
+                Mutex.protect m (fun () ->
+                    (* idempotent: a crash racing a normal delivery (or a
+                       buggy double call) must not skew [remaining] *)
+                    if not job.delivered then begin
+                      job.delivered <- true;
+                      slots.(i) <- Some r;
+                      decr remaining;
+                      if !remaining = 0 then Condition.broadcast all_done
+                    end));
+          }
+        in
+        job)
+      params_list
+  in
+  List.iter
+    (fun job ->
+      match Supervisor.admit t.supervisor with
+      | Error d -> job.deliver (Error d)
+      | Ok trial -> (
+        job.trial <- trial;
+        try Bqueue.push t.queue job
+        with Bqueue.Closed ->
+          job.deliver
+            (Error
+               (Diag.v ~code:"DP-SRV-SHUTDOWN" ~subsystem:"server"
+                  "server is shutting down"))))
+    jobs;
   Mutex.protect m (fun () ->
       while !remaining > 0 do
         Condition.wait all_done m
@@ -228,9 +433,21 @@ let run_jobs t params_list =
 (* Stats *)
 
 let stats_json t =
-  let served, errors, connections, latency =
+  let ( served,
+        errors,
+        connections,
+        deadline_expired,
+        crash_dumps,
+        guard_rejects,
+        latency ) =
     locked t (fun () ->
-        (t.served, t.errors, t.connections, histogram_json t.latency))
+        ( t.served,
+          t.errors,
+          t.connections,
+          t.deadline_expired,
+          t.crash_dumps,
+          t.guard_rejects,
+          histogram_json t.latency ))
   in
   let cache =
     match t.config.store with
@@ -248,6 +465,26 @@ let stats_json t =
           ("entries", Json.Int c.entries);
         ]
   in
+  let crashes, restarts, rejected = Supervisor.counters t.supervisor in
+  let supervisor =
+    Json.Obj
+      [
+        ( "breaker",
+          Json.Str (Supervisor.breaker_name (Supervisor.breaker_state t.supervisor)) );
+        ("crashes", Json.Int crashes);
+        ("restarts", Json.Int restarts);
+        ("rejected", Json.Int rejected);
+        ("crash_dumps", Json.Int crash_dumps);
+        ("deadline_expired", Json.Int deadline_expired);
+        ("guard_rejects", Json.Int guard_rejects);
+      ]
+  in
+  let chaos =
+    match t.chaos with
+    | None -> Json.Null
+    | Some c ->
+      Json.Obj (List.map (fun (n, k) -> (n, Json.Int k)) (Chaos.injected c))
+  in
   Json.Obj
     [
       ("served", Json.Int served);
@@ -256,6 +493,8 @@ let stats_json t =
       ("workers", Json.Int t.config.workers);
       ("queue_depth", Json.Int t.config.queue_depth);
       ("cache", cache);
+      ("supervisor", supervisor);
+      ("chaos", chaos);
       ("latency_ms", latency);
     ]
 
@@ -285,50 +524,71 @@ let request_shutdown t =
 (* ------------------------------------------------------------------ *)
 (* Connection handling *)
 
-let respond oc json =
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  flush oc
+(* A chaos-torn response: the connection must die mid-line. *)
+exception Torn_response
+
+let respond t oc json =
+  let line = Json.to_string json ^ "\n" in
+  match Option.bind t.chaos (fun c -> Chaos.tick c ~site:`Respond) with
+  | Some Chaos.Truncate_response ->
+    let cut = max 1 (String.length line / 2) in
+    output_string oc (String.sub line 0 cut);
+    flush oc;
+    raise Torn_response
+  | _ ->
+    output_string oc line;
+    flush oc
 
 let handle_line t oc line =
   match Protocol.request_of_line line with
   | Error d ->
     locked t (fun () -> t.errors <- t.errors + 1);
-    respond oc (Protocol.error_response ~id:(Protocol.id_of_line line) d);
+    respond t oc (Protocol.error_response ~id:(Protocol.id_of_line line) d);
     `Continue
   | Ok { id; req } -> (
     match req with
     | Protocol.Stats ->
-      respond oc (Protocol.ok_response ~id [ ("stats", stats_json t) ]);
+      respond t oc (Protocol.ok_response ~id [ ("stats", stats_json t) ]);
       `Continue
     | Protocol.Shutdown ->
-      respond oc (Protocol.ok_response ~id []);
+      respond t oc (Protocol.ok_response ~id []);
       request_shutdown t;
       `Close
     | Protocol.Synth p -> (
       match run_jobs t [ p ] with
-      | [ Ok o ] -> respond oc (Protocol.synth_response ~id p o); `Continue
-      | [ Error d ] -> respond oc (Protocol.error_response ~id d); `Continue
+      | [ Ok o ] -> respond t oc (Protocol.synth_response ~id p o); `Continue
+      | [ Error d ] -> respond t oc (Protocol.error_response ~id d); `Continue
       | _ -> assert false)
     | Protocol.Batch ps ->
       let results = run_jobs t ps in
       let elements = List.map2 Protocol.batch_element ps results in
-      respond oc (Protocol.batch_response ~id elements);
+      respond t oc (Protocol.batch_response ~id elements);
       `Continue)
 
 let handle_connection t fd =
   locked t (fun () -> t.connections <- t.connections + 1);
-  let ic = Unix.in_channel_of_descr fd in
+  let reader = Lineio.create fd in
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-    | "" -> loop ()
-    | line -> (
+    match Lineio.read_line reader with
+    | Lineio.Eof -> ()
+    | Lineio.Truncated partial ->
+      (* The peer died (or gave up) mid-request; answer with the typed
+         truncation diagnostic in case its read side is still open. *)
+      locked t (fun () -> t.errors <- t.errors + 1);
+      (try
+         respond t oc
+           (Protocol.error_response ~id:Json.Null
+              (Diag.v ~code:"DP-PROTO003" ~subsystem:"proto"
+                 ~context:[ ("buffered_bytes", string_of_int (String.length partial)) ]
+                 "request line truncated: stream ended before the newline"))
+       with Torn_response | Sys_error _ -> ())
+    | Lineio.Line "" -> loop ()
+    | Lineio.Line line -> (
       match handle_line t oc line with
       | `Continue -> loop ()
       | `Close -> ()
+      | exception Torn_response -> ()
       | exception Sys_error _ -> () (* peer went away mid-response *))
   in
   loop ();
@@ -342,7 +602,15 @@ let accept_loop t =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
       | exception Unix.Unix_error (_, _, _) -> ()
       | ready, _, _ ->
-        if List.mem t.wake_r ready then () (* shutdown byte *)
+        if List.mem t.wake_r ready then begin
+          (* Either [request_shutdown] woke us, or a signal handler did
+             (handlers only write the byte — no locks in signal context);
+             in the latter case the shutdown itself runs here. *)
+          (try ignore (Unix.read t.wake_r (Bytes.create 1) 0 1)
+           with Unix.Unix_error _ -> ());
+          if not (locked t (fun () -> t.shutting_down)) then
+            request_shutdown t
+        end
         else (
           match Unix.accept t.listen_fd with
           | fd, _ ->
@@ -375,19 +643,52 @@ let start config =
     {
       config;
       queue = Bqueue.create config.queue_depth;
+      supervisor = Supervisor.create ~policy:config.supervisor ~log:config.log ();
+      chaos = Option.map Chaos.create config.chaos;
       listen_fd;
       wake_r;
       wake_w;
       worker_threads = [];
       accept_thread = None;
+      signal_thread = None;
       state_lock = Mutex.create ();
       shutting_down = false;
       served = 0;
       errors = 0;
       connections = 0;
+      deadline_expired = 0;
+      crash_dumps = 0;
+      guard_rejects = 0;
       latency = histogram ();
     }
   in
+  if config.handle_signals then begin
+    (* A [Sys.Signal_handle] callback only runs at an OCaml safe point of
+       whichever thread the kernel happened to pick — and that thread may
+       be parked forever in [pthread_cond_wait] (a worker, or the main
+       thread joining in [wait]), so the callback can simply never fire.
+       Instead, block the signals in this thread *before* spawning the
+       pool (spawned threads inherit the mask) and claim them from a
+       dedicated [sigwait] thread, which is immune to that lottery.
+       SIGUSR2 is the watcher's own wake-up call, sent by [wait] so the
+       thread can be joined on a signal-less shutdown. *)
+    let watched = [ Sys.sigterm; Sys.sigint; Sys.sigusr2 ] in
+    ignore (Thread.sigmask Unix.SIG_BLOCK watched);
+    let rec watch ~first =
+      let s = Thread.wait_signal watched in
+      if s <> Sys.sigusr2 then
+        if first then begin
+          (try ignore (Unix.write t.wake_w (Bytes.of_string "s") 0 1)
+           with Unix.Unix_error _ -> ());
+          watch ~first:false
+        end
+        else (* second SIGTERM/SIGINT: the drain is taking too long —
+                don't be unkillable *)
+          Stdlib.exit 130
+      else ()
+    in
+    t.signal_thread <- Some (Thread.create (fun () -> watch ~first:true) ())
+  end;
   t.worker_threads <-
     List.init config.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
@@ -399,8 +700,33 @@ let start config =
 let wait t =
   Option.iter Thread.join t.accept_thread;
   List.iter Thread.join t.worker_threads;
+  (* Retire the signal watcher before closing the wake pipe, so a late
+     signal cannot write into a recycled descriptor: its private SIGUSR2
+     makes [wait_signal] return whether the watcher is still on its
+     first wait or already waiting for a second TERM/INT; join, then
+     restore default delivery for this thread. *)
+  (match t.signal_thread with
+  | None -> ()
+  | Some th ->
+    (try Unix.kill (Unix.getpid ()) Sys.sigusr2 with Unix.Unix_error _ -> ());
+    Thread.join th;
+    t.signal_thread <- None;
+    ignore
+      (Thread.sigmask Unix.SIG_UNBLOCK [ Sys.sigterm; Sys.sigint; Sys.sigusr2 ]));
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
-  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (* The drain is complete: flush the final service counters and the
+     latency histogram through the log (stderr for [dpsyn serve]). *)
+  let served, errors, deadline_expired =
+    locked t (fun () -> (t.served, t.errors, t.deadline_expired))
+  in
+  let crashes, restarts, rejected = Supervisor.counters t.supervisor in
+  t.config.log
+    (Printf.sprintf
+       "drained: served=%d errors=%d deadline_expired=%d crashes=%d \
+        restarts=%d rejected=%d"
+       served errors deadline_expired crashes restarts rejected);
+  t.config.log (histogram_summary t.latency)
 
 let run config =
   let t = start config in

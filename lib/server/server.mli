@@ -5,7 +5,27 @@
     {!Dp_cache.Store}, and a per-request wall-clock/cell-count budget
     from {!Dp_fuzz.Budget}.  Every failure — malformed request, blown
     budget, synthesis error — is an error envelope carrying the typed
-    diagnostic; the connection and the worker both survive. *)
+    diagnostic; the connection and the worker both survive.
+
+    Resilience layer (see [doc/protocol.md], "Failure semantics"):
+
+    - Workers run under a {!Supervisor} boundary: an exception escaping
+      a job is delivered as [DP-SRV-CRASH] (with a [.repro] crash dump
+      under [crash_dir]), the worker restarts after exponential backoff,
+      and a crash storm opens a circuit breaker that rejects {e new}
+      work with [DP-SRV-OVERLOAD] while the queue drains.
+    - A request's [deadline_ms] becomes an absolute deadline at enqueue
+      time; one that expires while queued fails fast with
+      [DP-SRV-DEADLINE], and one that starts in time runs under a budget
+      clamped to the time remaining.
+    - With [chaos] set, seeded faults ({!Chaos}) are injected to prove
+      all of the above under fire; the response integrity guard
+      ([guard_responses], forced on by chaos) lints outgoing netlists so
+      a corrupted result is a [DP-SRV-CORRUPT] error, never a wrong
+      answer.
+    - With [handle_signals], SIGTERM/SIGINT trigger a graceful drain:
+      stop accepting, finish queued jobs, flush the latency histogram
+      through [log], return from {!wait}. *)
 
 type config = {
   socket_path : string;
@@ -15,9 +35,19 @@ type config = {
   budget : Dp_fuzz.Budget.t;  (** applied to every request *)
   tech : Dp_tech.Tech.t;
   log : string -> unit;
+  supervisor : Supervisor.policy;
+  crash_dir : string option;
+      (** where worker-crash [.repro] dumps go; [None] disables *)
+  chaos : Chaos.config option;  (** seeded fault injection *)
+  guard_responses : bool;
+      (** lint outgoing netlists ([DP-SRV-CORRUPT] on findings); always
+          on under chaos *)
+  handle_signals : bool;  (** graceful drain on SIGTERM/SIGINT *)
 }
 
-(** In-memory cache, 2 workers, queue depth 64, 30 s/200k-cell budget. *)
+(** In-memory cache, 2 workers, queue depth 64, 30 s/200k-cell budget,
+    default supervision policy, no crash dir, no chaos, no guard, no
+    signal handling. *)
 val default_config : socket_path:string -> config
 
 type t
@@ -26,8 +56,10 @@ type t
     accept loop, and return immediately. *)
 val start : config -> t
 
-(** Block until a [shutdown] request (or {!request_shutdown}) has
-    drained the queue and stopped the accept loop. *)
+(** Block until a [shutdown] request, {!request_shutdown}, or — with
+    [handle_signals] — SIGTERM/SIGINT has drained the queue and stopped
+    the accept loop; then flush final counters and the latency
+    histogram through [config.log]. *)
 val wait : t -> unit
 
 (** [start] + [wait]. *)
@@ -35,5 +67,7 @@ val run : config -> unit
 
 val request_shutdown : t -> unit
 
-(** The [stats] payload (also used by the [stats] op). *)
+(** The [stats] payload (also used by the [stats] op): service counters,
+    cache stats, supervisor/breaker state, chaos injection counts, and
+    the latency histogram. *)
 val stats_json : t -> Json.t

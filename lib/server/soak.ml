@@ -1,0 +1,283 @@
+module Diag = Dp_diag.Diag
+
+type config = {
+  socket_path : string;
+  clients : int;
+  requests_per_client : int;
+  seed : int;
+  workers : int;
+  chaos : Chaos.config option;
+  cache_dir : string option;
+  crash_dir : string option;
+  deadline_ms : float option;
+  log : string -> unit;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    clients = 4;
+    requests_per_client = 50;
+    seed = 0;
+    workers = 2;
+    chaos = None;
+    cache_dir = None;
+    crash_dir = None;
+    deadline_ms = None;
+    log = ignore;
+  }
+
+type report = {
+  requests : int;
+  ok : int;
+  typed_errors : int;
+  wrong_answers : int;
+  violations : int;
+  error_codes : (string * int) list;
+  elapsed_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  throughput_rps : float;
+}
+
+let passed r = r.violations = 0 && r.wrong_answers = 0
+
+let report_json r =
+  Json.Obj
+    [
+      ("schema", Json.Str "dpsyn-soak/1");
+      ("requests", Json.Int r.requests);
+      ("ok", Json.Int r.ok);
+      ("typed_errors", Json.Int r.typed_errors);
+      ("wrong_answers", Json.Int r.wrong_answers);
+      ("violations", Json.Int r.violations);
+      ( "error_codes",
+        Json.Obj (List.map (fun (c, n) -> (c, Json.Int n)) r.error_codes) );
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p99_ms", Json.Float r.p99_ms);
+      ("throughput_rps", Json.Float r.throughput_rps);
+    ]
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>requests: %d (ok %d, typed errors %d)@,\
+     wrong answers: %d@,violations: %d@,\
+     latency: p50 %.1f ms, p99 %.1f ms@,\
+     throughput: %.1f req/s over %.2f s@,errors by code:%s@]"
+    r.requests r.ok r.typed_errors r.wrong_answers r.violations r.p50_ms
+    r.p99_ms r.throughput_rps r.elapsed_s
+    (if r.error_codes = [] then " (none)"
+     else
+       String.concat ""
+         (List.map (fun (c, n) -> Printf.sprintf " %s=%d" c n) r.error_codes))
+
+(* ------------------------------------------------------------------ *)
+(* The request pool: small, cheap, structurally varied expressions with
+   locally precomputed expected records. *)
+
+let pool_specs =
+  [
+    ("x + y", [ ("x", 6); ("y", 6) ]);
+    ("x*y + z", [ ("x", 4); ("y", 4); ("z", 8) ]);
+    ("3*x + 5*y", [ ("x", 5); ("y", 5) ]);
+    ("(x + y)*(x - y)", [ ("x", 4); ("y", 4) ]);
+    ("x*x + 2*x + 1", [ ("x", 5) ]);
+    ("x + y + z + 7", [ ("x", 4); ("y", 5); ("z", 6) ]);
+    ("x*y - z", [ ("x", 4); ("y", 3); ("z", 6) ]);
+    ("2*x + x*y", [ ("x", 4); ("y", 4) ]);
+  ]
+
+type pooled = {
+  params : Protocol.synth_params;
+  expected : string;  (** [Json.to_string] of the expected result record *)
+}
+
+let tech = Dp_tech.Tech.lcb_like
+
+let build_pool () =
+  List.map
+    (fun (expr_text, vars) ->
+      let vars =
+        List.map (fun (n, w) -> Protocol.var_spec n ~width:w) vars
+      in
+      let params =
+        match Protocol.synth_params ~vars expr_text with
+        | Ok p -> p
+        | Error d -> Diag.fail d
+      in
+      let expected =
+        match Protocol.serve_request ~tech params with
+        | Error d -> Diag.fail d
+        | Ok r -> (
+          match Dp_cache.Serve.run r with
+          | Error d -> Diag.fail d
+          | Ok o -> Json.to_string (Protocol.result_record params o))
+      in
+      { params; expected })
+    pool_specs
+
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  lock : Mutex.t;
+  mutable ok : int;
+  mutable typed_errors : int;
+  mutable wrong_answers : int;
+  mutable violations : int;
+  codes : (string, int) Hashtbl.t;
+  mutable latencies_ms : float list;
+}
+
+let count_code t code =
+  Hashtbl.replace t.codes code
+    (1 + Option.value (Hashtbl.find_opt t.codes code) ~default:0)
+
+let classify tally ~sent_id ~expected response =
+  Mutex.protect tally.lock @@ fun () ->
+  let id_ok =
+    match Json.member "id" response with
+    | Some id -> id = sent_id
+    | None -> false
+  in
+  if not id_ok then begin
+    tally.violations <- tally.violations + 1;
+    count_code tally "missing-or-wrong-id"
+  end
+  else
+    match Json.member "ok" response |> Fun.flip Option.bind Json.to_bool with
+    | Some true -> (
+      match Json.member "result" response with
+      | Some record when Json.to_string record = expected ->
+        tally.ok <- tally.ok + 1
+      | Some _ ->
+        tally.wrong_answers <- tally.wrong_answers + 1;
+        count_code tally "wrong-record"
+      | None ->
+        tally.violations <- tally.violations + 1;
+        count_code tally "ok-without-result")
+    | Some false -> (
+      match
+        Json.member "error" response
+        |> Fun.flip Option.bind (Json.member "code")
+        |> Fun.flip Option.bind Json.to_str
+      with
+      | Some code when String.length code >= 3 && String.sub code 0 3 = "DP-" ->
+        tally.typed_errors <- tally.typed_errors + 1;
+        count_code tally code
+      | _ ->
+        tally.violations <- tally.violations + 1;
+        count_code tally "untyped-error")
+    | _ ->
+      tally.violations <- tally.violations + 1;
+      count_code tally "malformed-envelope"
+
+let client_thread config pool tally k =
+  let n_pool = List.length pool in
+  let rng = Random.State.make [| config.seed; k; 0x50ac |] in
+  for i = 0 to config.requests_per_client - 1 do
+    let pooled = List.nth pool (Random.State.int rng n_pool) in
+    let deadline_ms =
+      match config.deadline_ms with
+      | Some d when i mod 5 = 3 -> Some d
+      | _ -> None
+    in
+    let params = { pooled.params with Protocol.deadline_ms } in
+    let sent_id = Json.Str (Printf.sprintf "c%d-r%d" k i) in
+    let request =
+      Protocol.request_to_json
+        { Protocol.id = sent_id; req = Protocol.Synth params }
+    in
+    let retry =
+      {
+        Client.default_retry with
+        Client.attempts = 4;
+        per_attempt_timeout_s = 20.0;
+        seed = (config.seed * 8191) + (k * 131) + i;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Client.call ~retry ~socket:config.socket_path request in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    (match r with
+    | Ok response ->
+      classify tally ~sent_id ~expected:pooled.expected response
+    | Error (d : Diag.t) ->
+      (* Transport failure that survived the retry loop: still a typed
+         outcome, not a violation — unless the code is untyped. *)
+      Mutex.protect tally.lock (fun () ->
+          if String.length d.code >= 3 && String.sub d.code 0 3 = "DP-" then begin
+            tally.typed_errors <- tally.typed_errors + 1;
+            count_code tally d.code
+          end
+          else begin
+            tally.violations <- tally.violations + 1;
+            count_code tally "untyped-error"
+          end));
+    Mutex.protect tally.lock (fun () ->
+        tally.latencies_ms <- ms :: tally.latencies_ms)
+  done
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let run config =
+  let pool = build_pool () in
+  let store =
+    Some (Dp_cache.Store.create ~capacity:64 ?dir:config.cache_dir ())
+  in
+  let server_config =
+    {
+      (Server.default_config ~socket_path:config.socket_path) with
+      Server.store;
+      workers = config.workers;
+      chaos = config.chaos;
+      crash_dir = config.crash_dir;
+      guard_responses = true;
+      log = config.log;
+    }
+  in
+  let server = Server.start server_config in
+  let tally =
+    {
+      lock = Mutex.create ();
+      ok = 0;
+      typed_errors = 0;
+      wrong_answers = 0;
+      violations = 0;
+      codes = Hashtbl.create 16;
+      latencies_ms = [];
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init config.clients (fun k ->
+        Thread.create (fun () -> client_thread config pool tally k) ())
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (* Graceful shutdown; [wait] returning means no leaked server threads. *)
+  Server.request_shutdown server;
+  Server.wait server;
+  let sorted = Array.of_list tally.latencies_ms in
+  Array.sort compare sorted;
+  let requests = config.clients * config.requests_per_client in
+  {
+    requests;
+    ok = tally.ok;
+    typed_errors = tally.typed_errors;
+    wrong_answers = tally.wrong_answers;
+    violations = tally.violations;
+    error_codes =
+      List.sort compare
+        (Hashtbl.fold (fun c n acc -> (c, n) :: acc) tally.codes []);
+    elapsed_s;
+    p50_ms = percentile sorted 50.0;
+    p99_ms = percentile sorted 99.0;
+    throughput_rps =
+      (if elapsed_s > 0.0 then float_of_int requests /. elapsed_s else 0.0);
+  }

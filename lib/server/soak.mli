@@ -1,0 +1,56 @@
+(** Chaos soak: hammer an in-process (optionally chaos-injected) server
+    from N concurrent client threads and assert the protocol's safety
+    properties hold under fire:
+
+    - {b zero protocol violations} — every response parses, echoes the
+      request id, and every failure carries a typed [DP-*] diagnostic;
+    - {b zero wrong answers} — every [ok:true] result record is
+      byte-identical to the record computed locally, outside the server,
+      for the same parameters (so cache corruption, worker crashes and
+      injected result corruption can never surface as silently wrong
+      data);
+    - {b no leaked workers} — the run ends with a graceful shutdown and
+      joins every server thread; a leak hangs the soak, which the CI
+      job's timeout converts into a failure.
+
+    Requests are drawn deterministically (by [seed]) from a fixed pool
+    of expressions whose expected records are precomputed; a slice of
+    requests carries a [deadline_ms] so the deadline path is exercised
+    too.  Clients go through {!Client.call}, so the retry/idempotency
+    story is part of what the soak proves. *)
+
+type config = {
+  socket_path : string;
+  clients : int;
+  requests_per_client : int;
+  seed : int;
+  workers : int;
+  chaos : Chaos.config option;  (** [None] = plain soak (baseline) *)
+  cache_dir : string option;  (** disk store, needed for cache-corruption chaos *)
+  crash_dir : string option;
+  deadline_ms : float option;  (** attached to every 5th request *)
+  log : string -> unit;
+}
+
+(** 4 clients x 50 requests, 2 workers, no chaos, seed 0. *)
+val default_config : socket_path:string -> config
+
+type report = {
+  requests : int;  (** total requests sent *)
+  ok : int;  (** [ok:true] envelopes with a byte-correct record *)
+  typed_errors : int;  (** failures carrying a [DP-*] diagnostic *)
+  wrong_answers : int;  (** [ok:true] records that mismatched — must be 0 *)
+  violations : int;  (** protocol violations — must be 0 *)
+  error_codes : (string * int) list;  (** failure census, by code *)
+  elapsed_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  throughput_rps : float;
+}
+
+val passed : report -> bool
+val report_json : report -> Json.t
+val pp_report : report Fmt.t
+
+(** Start the server, run the soak, shut it down, join everything. *)
+val run : config -> report

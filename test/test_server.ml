@@ -145,30 +145,43 @@ let with_server ?(configure = fun c -> c) f =
       S.Server.wait t)
     (fun () -> f socket t)
 
-let rpc socket request =
+let faild d = Alcotest.fail (Dp_diag.Diag.to_string d)
+
+let rpc_res socket request =
   match S.Client.connect socket with
-  | Error msg -> Alcotest.fail msg
+  | Error d -> Error d
   | Ok c ->
     Fun.protect
       ~finally:(fun () -> S.Client.close c)
-      (fun () ->
-        match S.Client.rpc c request with
-        | Ok response -> response
-        | Error msg -> Alcotest.fail msg)
+      (fun () -> S.Client.rpc c request)
 
-let synth_json ?(expr = "x*y + z") ?(id = 1) () =
+let rpc socket request =
+  match rpc_res socket request with Ok r -> r | Error d -> faild d
+
+let synth_json ?(expr = "x*y + z") ?(id = 1) ?deadline_ms () =
   Json.Obj
-    [
-      ("id", Json.Int id);
-      ("op", Json.Str "synth");
-      ("expr", Json.Str expr);
-      ( "vars",
-        Json.List
-          (List.map
-             (fun n ->
-               Json.Obj [ ("name", Json.Str n); ("width", Json.Int 8) ])
-             [ "x"; "y"; "z" ]) );
-    ]
+    ([
+       ("id", Json.Int id);
+       ("op", Json.Str "synth");
+       ("expr", Json.Str expr);
+       ( "vars",
+         Json.List
+           (List.map
+              (fun n ->
+                Json.Obj [ ("name", Json.Str n); ("width", Json.Int 8) ])
+              [ "x"; "y"; "z" ]) );
+     ]
+    @
+    match deadline_ms with
+    | Some d -> [ ("deadline_ms", Json.Float d) ]
+    | None -> [])
+
+(* A unique empty scratch directory (crash corpora, disk caches). *)
+let fresh_dir tag =
+  let path = Filename.temp_file ("dpsyn-" ^ tag) "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
 
 let get path j =
   List.fold_left
@@ -253,31 +266,33 @@ let server_batch_order_and_errors () =
 let server_survives_bad_input () =
   with_server @@ fun socket _ ->
   match S.Client.connect socket with
-  | Error msg -> Alcotest.fail msg
+  | Error d -> faild d
   | Ok c ->
     Fun.protect
       ~finally:(fun () -> S.Client.close c)
       (fun () ->
-        S.Client.send_line c "garbage that is not json";
-        (match S.Client.recv_line c with
-        | None -> Alcotest.fail "connection died on bad input"
-        | Some line ->
-          let j = Result.get_ok (Json.of_string line) in
+        (match S.Client.send_line c "garbage that is not json" with
+        | Error d -> faild d
+        | Ok () -> ());
+        (match S.Client.recv_response c with
+        | Error _ -> Alcotest.fail "connection died on bad input"
+        | Ok j ->
           checkb "error envelope" true (get_bool [ "ok" ] j = Some false);
           check Alcotest.string "code" "DP-PROTO001"
             (Option.get (get_str [ "error"; "code" ] j)));
         (* a field-validation failure still echoes the request id *)
-        S.Client.send_line c {|{"id":9,"op":"nope"}|};
-        (match S.Client.recv_line c with
-        | None -> Alcotest.fail "connection died on bad op"
-        | Some line ->
-          let j = Result.get_ok (Json.of_string line) in
+        (match S.Client.send_line c {|{"id":9,"op":"nope"}|} with
+        | Error d -> faild d
+        | Ok () -> ());
+        (match S.Client.recv_response c with
+        | Error _ -> Alcotest.fail "connection died on bad op"
+        | Ok j ->
           checkb "id recovered" true (get_int [ "id" ] j = Some 9);
           check Alcotest.string "code" "DP-PROTO002"
             (Option.get (get_str [ "error"; "code" ] j)));
         (* the same connection still serves a valid request *)
         match S.Client.rpc c (synth_json ()) with
-        | Error msg -> Alcotest.fail msg
+        | Error d -> faild d
         | Ok r -> checkb "still usable" true (get_bool [ "ok" ] r = Some true))
 
 let server_stats () =
@@ -334,6 +349,273 @@ let server_shutdown_op () =
   (* wait must return: the accept loop and the workers all exit *)
   S.Server.wait t;
   checkb "socket file removed" false (Sys.file_exists socket)
+
+(* ------------------------------------------------------------------ *)
+(* Supervision, deadlines, chaos *)
+
+(* With a single fault class the chaos schedule is fully deterministic:
+   each sequential request consumes one worker-site tick and one
+   respond-site tick, so [every = 3] fires at ticks 3, 6, 9... — the 2nd
+   request's worker tick, the 3rd request's respond tick (filtered for
+   worker-only faults), the 5th request's worker tick, and so on. *)
+let chaos_only ?(every = 3) fault =
+  { S.Chaos.seed = 1; every; slow_s = 0.05; faults = [ fault ] }
+
+let tiny_backoff =
+  {
+    S.Supervisor.default_policy with
+    backoff_base_s = 0.001;
+    backoff_max_s = 0.01;
+  }
+
+let server_crash_restart_and_dump () =
+  let crash_dir = fresh_dir "crash" in
+  let configure c =
+    {
+      c with
+      S.Server.chaos = Some (chaos_only S.Chaos.Worker_panic);
+      crash_dir = Some crash_dir;
+      supervisor = { tiny_backoff with max_crashes = 100 };
+    }
+  in
+  with_server ~configure @@ fun socket t ->
+  let r1 = rpc socket (synth_json ~id:1 ()) in
+  checkb "1st ok" true (get_bool [ "ok" ] r1 = Some true);
+  (* 2nd request hits the worker-site injection: typed crash, not a hang *)
+  let r2 = rpc socket (synth_json ~id:2 ~expr:"x + y" ()) in
+  checkb "2nd failed" true (get_bool [ "ok" ] r2 = Some false);
+  check Alcotest.string "crash code" "DP-SRV-CRASH"
+    (Option.get (get_str [ "error"; "code" ] r2));
+  (* the worker restarted: the same server keeps serving *)
+  let r3 = rpc socket (synth_json ~id:3 ()) in
+  checkb "3rd ok after restart" true (get_bool [ "ok" ] r3 = Some true);
+  (* the crash left a parseable reproducer in the corpus *)
+  (match Fz.Corpus.load_dir crash_dir with
+  | Error d -> faild d
+  | Ok entries ->
+    checki "one crash dump" 1 (List.length entries);
+    let _, e = List.hd entries in
+    checkb "dump tagged with the crash code" true
+      (e.Fz.Corpus.diag_code = Some "DP-SRV-CRASH");
+    check Alcotest.string "dump pins the expression" "x + y"
+      (match e.Fz.Corpus.case.Fz.Case.ports with
+      | [ (_, expr, _) ] -> Dp_expr.Ast.to_string expr
+      | _ -> "?"));
+  let stats = S.Server.stats_json t in
+  checkb "crash counted" true
+    (get_int [ "supervisor"; "crashes" ] stats = Some 1);
+  checkb "restart counted" true
+    (get_int [ "supervisor"; "restarts" ] stats = Some 1);
+  checkb "dump counted" true
+    (get_int [ "supervisor"; "crash_dumps" ] stats = Some 1)
+
+let server_breaker_opens_under_crash_storm () =
+  (* every worker tick panics: two crashes exceed [max_crashes = 1] and
+     open the breaker, so the 3rd request is rejected at admission *)
+  let configure c =
+    {
+      c with
+      S.Server.chaos = Some (chaos_only ~every:1 S.Chaos.Worker_panic);
+      supervisor = { tiny_backoff with max_crashes = 1; cooldown_s = 30.0 };
+    }
+  in
+  with_server ~configure @@ fun socket t ->
+  let code r = Option.get (get_str [ "error"; "code" ] r) in
+  check Alcotest.string "1st crash" "DP-SRV-CRASH"
+    (code (rpc socket (synth_json ~id:1 ())));
+  check Alcotest.string "2nd crash" "DP-SRV-CRASH"
+    (code (rpc socket (synth_json ~id:2 ())));
+  check Alcotest.string "breaker open" "DP-SRV-OVERLOAD"
+    (code (rpc socket (synth_json ~id:3 ())));
+  let stats = S.Server.stats_json t in
+  check Alcotest.string "breaker state" "open"
+    (Option.get (get_str [ "supervisor"; "breaker" ] stats));
+  checkb "rejection counted" true
+    (get_int [ "supervisor"; "rejected" ] stats = Some 1)
+
+let breaker_half_open_cycle () =
+  (* the state machine itself, without server scheduling noise *)
+  let policy =
+    {
+      S.Supervisor.default_policy with
+      max_crashes = 2;
+      cooldown_s = 0.05;
+      backoff_base_s = 0.001;
+      backoff_max_s = 0.01;
+    }
+  in
+  let sup = S.Supervisor.create ~policy ~log:ignore () in
+  let admit () = S.Supervisor.admit sup in
+  checkb "closed admits" true (admit () = Ok false);
+  for _ = 1 to 3 do
+    ignore (S.Supervisor.record_crash sup ~trial:false)
+  done;
+  checkb "opens past the intensity limit" true
+    (S.Supervisor.breaker_state sup = S.Supervisor.Open);
+  (match admit () with
+  | Error d ->
+    check Alcotest.string "overload code" "DP-SRV-OVERLOAD" d.Dp_diag.Diag.code
+  | Ok _ -> Alcotest.fail "open breaker admitted work");
+  Thread.delay 0.08;
+  (* cooldown elapsed: exactly one probe goes through *)
+  checkb "half-open admits one trial" true (admit () = Ok true);
+  checkb "half-open state" true
+    (S.Supervisor.breaker_state sup = S.Supervisor.Half_open);
+  checkb "second probe rejected while trial in flight" true
+    (Result.is_error (admit ()));
+  (* trial crash re-opens; next cooldown's trial success closes *)
+  ignore (S.Supervisor.record_crash sup ~trial:true);
+  checkb "trial crash re-opens" true
+    (S.Supervisor.breaker_state sup = S.Supervisor.Open);
+  Thread.delay 0.08;
+  checkb "re-probes after second cooldown" true (admit () = Ok true);
+  S.Supervisor.record_success sup ~trial:true;
+  checkb "trial success closes" true
+    (S.Supervisor.breaker_state sup = S.Supervisor.Closed);
+  checkb "closed again admits normally" true (admit () = Ok false)
+
+let server_deadline_expires_in_queue () =
+  (* one worker, stalled by chaos on every job: a queued request with a
+     small deadline must fail fast with DP-SRV-DEADLINE, not synthesize *)
+  let configure c =
+    {
+      c with
+      S.Server.workers = 1;
+      chaos =
+        Some { S.Chaos.seed = 1; every = 1; slow_s = 0.4; faults = [ S.Chaos.Slow_worker ] };
+    }
+  in
+  with_server ~configure @@ fun socket _ ->
+  let blocker =
+    Thread.create (fun () -> ignore (rpc_res socket (synth_json ~id:1 ()))) ()
+  in
+  Thread.delay 0.1;
+  (* the worker is mid-stall; this request waits in the queue past its
+     100 ms deadline *)
+  let r = rpc socket (synth_json ~id:2 ~deadline_ms:100.0 ()) in
+  Thread.join blocker;
+  checkb "failed" true (get_bool [ "ok" ] r = Some false);
+  check Alcotest.string "deadline code" "DP-SRV-DEADLINE"
+    (Option.get (get_str [ "error"; "code" ] r))
+
+let server_torn_response_is_typed () =
+  (* [every = 4] with sequential requests tears every other respond tick:
+     sanity rpc (ticks 1-2), retrying call (attempt ticks 3-4 torn, 5-6
+     ok), direct rpc (ticks 7-8 torn -> DP-PROTO003) *)
+  let configure c =
+    { c with S.Server.chaos = Some (chaos_only ~every:4 S.Chaos.Truncate_response) }
+  in
+  with_server ~configure @@ fun socket _ ->
+  let r1 = rpc socket (synth_json ~id:1 ()) in
+  checkb "sanity ok" true (get_bool [ "ok" ] r1 = Some true);
+  (* the retrying client reconnects through the torn attempt *)
+  let retry =
+    { S.Client.default_retry with attempts = 3; base_backoff_s = 0.001 }
+  in
+  (match S.Client.call ~retry ~socket (synth_json ~id:2 ()) with
+  | Error d -> faild d
+  | Ok r -> checkb "retry recovered" true (get_bool [ "ok" ] r = Some true));
+  (* without retries, the tear surfaces as the typed truncation code *)
+  match rpc_res socket (synth_json ~id:3 ()) with
+  | Ok r -> Alcotest.failf "expected a torn response, got %s" (Json.to_string r)
+  | Error d ->
+    check Alcotest.string "truncation code" "DP-PROTO003" d.Dp_diag.Diag.code
+
+let server_corrupt_cache_entry_is_a_miss () =
+  let cache_dir = fresh_dir "cache" in
+  let store = Dp_cache.Store.create ~capacity:8 ~dir:cache_dir () in
+  let configure c = { c with S.Server.store = Some store } in
+  with_server ~configure @@ fun socket t ->
+  let r1 = rpc socket (synth_json ()) in
+  checkb "seeded" true (get_bool [ "ok" ] r1 = Some true);
+  let expected = Json.to_string (Option.get (get [ "result" ] r1)) in
+  (* rot every on-disk entry, then force the next lookups through disk *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".dpc" then
+        Out_channel.with_open_bin (Filename.concat cache_dir f) (fun oc ->
+            Out_channel.output_string oc "rotten bytes"))
+    (Sys.readdir cache_dir);
+  Dp_cache.Store.invalidate_memory store;
+  (* concurrent identical requests: every one must be served fresh and
+     byte-identical — never the rotten entry, never a crash *)
+  let results = Array.make 4 None in
+  let threads =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () -> results.(i) <- Some (rpc_res socket (synth_json ())))
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.iter
+    (fun r ->
+      match r with
+      | Some (Ok r) ->
+        checkb "ok under corruption" true (get_bool [ "ok" ] r = Some true);
+        check Alcotest.string "record identical"
+          expected
+          (Json.to_string (Option.get (get [ "result" ] r)))
+      | Some (Error d) -> faild d
+      | None -> Alcotest.fail "thread never delivered")
+    results;
+  let stats = S.Server.stats_json t in
+  checkb "corruption detected and counted" true
+    (match get_int [ "cache"; "corrupt" ] stats with
+    | Some n -> n >= 1
+    | None -> false)
+
+let server_sigterm_graceful () =
+  let logged = ref [] in
+  let log_lock = Mutex.create () in
+  let configure c =
+    {
+      c with
+      S.Server.handle_signals = true;
+      log =
+        (fun m -> Mutex.protect log_lock (fun () -> logged := m :: !logged));
+    }
+  in
+  let socket = fresh_socket () in
+  let t =
+    S.Server.start (configure (S.Server.default_config ~socket_path:socket))
+  in
+  let r = rpc socket (synth_json ()) in
+  checkb "served before the signal" true (get_bool [ "ok" ] r = Some true);
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (* the handler only wakes the accept loop; the drain happens there *)
+  S.Server.wait t;
+  checkb "socket removed" false (Sys.file_exists socket);
+  let lines = Mutex.protect log_lock (fun () -> !logged) in
+  checkb "histogram flushed on drain" true
+    (List.exists
+       (fun l -> String.length l >= 11 && String.sub l 0 11 = "latency_ms:")
+       lines);
+  checkb "drain summary flushed" true
+    (List.exists
+       (fun l -> String.length l >= 8 && String.sub l 0 8 = "drained:")
+       lines)
+
+let soak_chaos_holds_invariants () =
+  let config =
+    {
+      (S.Soak.default_config ~socket_path:(fresh_socket ())) with
+      S.Soak.clients = 3;
+      requests_per_client = 12;
+      seed = 7;
+      workers = 2;
+      chaos =
+        Some { S.Chaos.default_config with seed = 7; every = 5; slow_s = 0.02 };
+      cache_dir = Some (fresh_dir "soak-cache");
+      crash_dir = Some (fresh_dir "soak-crash");
+      deadline_ms = Some 4000.0;
+    }
+  in
+  let report = S.Soak.run config in
+  checki "all requests accounted for" 36 report.S.Soak.requests;
+  checki "zero wrong answers" 0 report.S.Soak.wrong_answers;
+  checki "zero protocol violations" 0 report.S.Soak.violations;
+  checkb "soak passes" true (S.Soak.passed report);
+  checkb "some requests succeeded" true (report.S.Soak.ok > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Reentrant wall-clock budgets *)
@@ -438,6 +720,20 @@ let suite =
     case "server: stats counters and histogram" server_stats;
     case "server: per-request cell budget" server_enforces_cell_budget;
     case "server: shutdown op stops everything" server_shutdown_op;
+    case "server: worker crash -> typed error, dump, restart"
+      server_crash_restart_and_dump;
+    case "server: crash storm opens the breaker"
+      server_breaker_opens_under_crash_storm;
+    case "supervisor: open/half-open/close cycle" breaker_half_open_cycle;
+    case "server: deadline expires in the queue" server_deadline_expires_in_queue;
+    case "server: torn response is typed; retry recovers"
+      server_torn_response_is_typed;
+    case "server: corrupted cache entry is a miss under load"
+      server_corrupt_cache_entry_is_a_miss;
+    case "server: SIGTERM drains and flushes the histogram"
+      server_sigterm_graceful;
+    case "soak: chaos run holds the safety invariants"
+      soak_chaos_holds_invariants;
     case "budget: nested inner timeout fires alone" nested_inner_timeout_fires;
     case "budget: nested outer timeout wins" nested_outer_timeout_wins;
     case "budget: reusable after nesting" budget_reusable_after_nesting;
