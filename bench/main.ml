@@ -775,6 +775,58 @@ let speed_case_meta () =
         ("p99_ms", Json.Num r.p99_ms);
       ]
   in
+  (* The same soak against the multi-process sharded topology (3 forked
+     shard servers behind the digest router), plain and with seeded
+     shard kills/hangs firing mid-flight — the cost of routing plus the
+     cost of failover and restart while correctness holds. *)
+  let sharded_soak_case name ~kill =
+    let fresh tag =
+      let path = Filename.temp_file "dpsyn-bench" tag in
+      Sys.remove path;
+      path
+    in
+    let r =
+      Dp_server.Soak.run
+        {
+          (Dp_server.Soak.default_config ~socket_path:(fresh ".sock")) with
+          Dp_server.Soak.clients = 3;
+          (* the kill variant needs enough in-flight time for the
+             wall-clock fault pacer to actually land shard faults *)
+          requests_per_client =
+            (if kill then if !quick then 50 else 120
+             else if !quick then 8
+             else 25);
+          seed = 11;
+          shards = 3;
+          shard_chaos =
+            (if kill then
+               Some
+                 {
+                   Dp_server.Chaos.default_config with
+                   seed = 11;
+                   every = 2;
+                   faults = Dp_server.Chaos.shard_faults;
+                 }
+             else None);
+          cache_dir = Some (fresh ".cache");
+        }
+    in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("requests", Json.Int r.requests);
+        ("ok", Json.Int r.ok);
+        ("typed_errors", Json.Int r.typed_errors);
+        ("wrong_answers", Json.Int r.wrong_answers);
+        ("violations", Json.Int r.violations);
+        ("shard_kills", Json.Int r.shard_kills);
+        ("shard_hangs", Json.Int r.shard_hangs);
+        ("shard_restarts", Json.Int r.shard_restarts);
+        ("requests_per_s", Json.Num r.throughput_rps);
+        ("p50_ms", Json.Num r.p50_ms);
+        ("p99_ms", Json.Num r.p99_ms);
+      ]
+  in
   [
     column_case "reduce/sc_t_n64" 64 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
     column_case "reduce/sc_t_n256" 256 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
@@ -784,6 +836,8 @@ let speed_case_meta () =
     serve_case "serve/batch_4designs";
     soak_case "soak/plain" ~chaos:false;
     soak_case "soak/chaos" ~chaos:true;
+    sharded_soak_case "soak/sharded_plain" ~kill:false;
+    sharded_soak_case "soak/sharded_kill" ~kill:true;
   ]
 
 let bechamel_tests () =

@@ -784,60 +784,154 @@ let serve_cmd =
       value & opt int 0
       & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Chaos schedule seed.")
   in
-  let action socket workers queue_depth timeout max_cells cache_dir capacity
-      no_cache tech crash_dir max_crashes cooldown guard chaos chaos_every
-      chaos_seed =
-    let store =
-      if no_cache then None
-      else Some (Dp_cache.Store.create ~capacity ?dir:cache_dir ())
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Serve as a sharded topology: N shard server processes (one per \
+             digest range, each exec'd as its own 'dpsyn serve' on \
+             SOCKET.<i>, sharing --cache-dir) behind a health-checked \
+             router on SOCKET that fails over while a dead shard restarts. \
+             0 or 1 = a single in-process server.")
+  in
+  (* The shard processes are real 'dpsyn serve' invocations, so the tech
+     option stays a file *path* here — it must survive re-serialization
+     into a shard's argv. *)
+  let tech_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tech" ] ~docv:"FILE"
+          ~doc:"Technology file (key value lines); defaults inherit lcb_like.")
+  in
+  let action socket shards workers queue_depth timeout max_cells cache_dir
+      capacity no_cache tech_file crash_dir max_crashes cooldown guard chaos
+      chaos_every chaos_seed =
+    let tech =
+      match tech_file with
+      | None -> Dp_tech.Tech.lcb_like
+      | Some path -> (
+        match Dp_tech.Tech_file.of_file_res path with
+        | Ok t -> t
+        | Error d -> fail_diag d)
     in
-    let config =
-      {
-        Dp_server.Server.socket_path = socket;
-        store;
-        workers;
-        queue_depth;
-        budget =
-          { Dp_fuzz.Budget.default with timeout_s = timeout; max_cells };
-        tech;
-        log = (fun msg -> Fmt.epr "dpsyn serve: %s@." msg);
-        supervisor =
+    let log = fun msg -> Fmt.epr "dpsyn serve: %s@." msg in
+    if shards >= 2 then begin
+      (* Shard argv: this same executable, serving one shard's socket
+         with the same knobs.  Shards never shard further. *)
+      let shard_argv ~id:_ ~socket_path =
+        Array.of_list
+          ([
+             Sys.executable_name; "serve";
+             "--socket"; socket_path;
+             "--workers"; string_of_int workers;
+             "--queue-depth"; string_of_int queue_depth;
+             "--timeout"; string_of_float timeout;
+             "--max-cells"; string_of_int max_cells;
+             "--cache-capacity"; string_of_int capacity;
+             "--max-crashes"; string_of_int max_crashes;
+             "--breaker-cooldown"; string_of_float cooldown;
+           ]
+          @ (match cache_dir with Some d -> [ "--cache-dir"; d ] | None -> [])
+          @ (if no_cache then [ "--no-cache" ] else [])
+          @ (match tech_file with Some f -> [ "--tech"; f ] | None -> [])
+          @ (match crash_dir with Some d -> [ "--crash-dir"; d ] | None -> [])
+          @ (if guard then [ "--guard-responses" ] else [])
+          @
+          if chaos then
+            [
+              "--chaos";
+              "--chaos-every"; string_of_int chaos_every;
+              "--chaos-seed"; string_of_int chaos_seed;
+            ]
+          else [])
+      in
+      let pool =
+        Dp_server.Shard_pool.start
           {
-            Dp_server.Supervisor.default_policy with
-            max_crashes;
-            cooldown_s = cooldown;
-          };
-        crash_dir;
-        chaos =
-          (if chaos then
-             Some
-               {
-                 Dp_server.Chaos.default_config with
-                 seed = chaos_seed;
-                 every = chaos_every;
-               }
-           else None);
-        guard_responses = guard;
-        handle_signals = true;
-      }
-    in
-    match Dp_server.Server.run config with
-    | () -> ()
-    | exception Unix.Unix_error (e, fn, arg) ->
-      Fmt.epr "error: %s: %s (%s)@." fn (Unix.error_message e) arg;
-      exit 1
+            (Dp_server.Shard_pool.default_config ~shards
+               ~socket_for:(fun i -> socket ^ "." ^ string_of_int i)
+               ~spawn:(Dp_server.Shard_pool.Spawn_exec shard_argv))
+            with
+            Dp_server.Shard_pool.log;
+          }
+      in
+      if not (Dp_server.Shard_pool.wait_all_up ~timeout_s:30.0 pool) then begin
+        Fmt.epr "error: shards did not come up within 30s@.";
+        Dp_server.Shard_pool.shutdown pool;
+        exit 1
+      end;
+      match
+        Dp_server.Router.run
+          {
+            (Dp_server.Router.default_config ~socket_path:socket ~pool) with
+            Dp_server.Router.tech;
+            handle_signals = true;
+            log;
+          }
+      with
+      | () -> ()
+      | exception Unix.Unix_error (e, fn, arg) ->
+        Fmt.epr "error: %s: %s (%s)@." fn (Unix.error_message e) arg;
+        Dp_server.Shard_pool.shutdown pool;
+        exit 1
+    end
+    else begin
+      let store =
+        if no_cache then None
+        else Some (Dp_cache.Store.create ~capacity ?dir:cache_dir ())
+      in
+      let config =
+        {
+          Dp_server.Server.socket_path = socket;
+          store;
+          workers;
+          queue_depth;
+          budget =
+            { Dp_fuzz.Budget.default with timeout_s = timeout; max_cells };
+          tech;
+          log;
+          supervisor =
+            {
+              Dp_server.Supervisor.default_policy with
+              max_crashes;
+              cooldown_s = cooldown;
+            };
+          crash_dir;
+          chaos =
+            (if chaos then
+               Some
+                 {
+                   Dp_server.Chaos.default_config with
+                   seed = chaos_seed;
+                   every = chaos_every;
+                 }
+             else None);
+          guard_responses = guard;
+          handle_signals = true;
+        }
+      in
+      match Dp_server.Server.run config with
+      | () -> ()
+      | exception Unix.Unix_error (e, fn, arg) ->
+        Fmt.epr "error: %s: %s (%s)@." fn (Unix.error_message e) arg;
+        exit 1
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve synthesis over a Unix-domain socket (line-delimited JSON; \
           see doc/protocol.md) with a canonicalizing netlist cache, worker \
-          supervision and deadline enforcement")
+          supervision and deadline enforcement; --shards N serves a \
+          fault-tolerant multi-process topology behind a routing front")
     Term.(
-      const action $ socket_arg $ workers_arg $ queue_arg $ timeout_arg
-      $ max_cells_arg $ cache_dir_arg $ capacity_arg $ no_cache_arg $ tech_arg
-      $ crash_dir_arg $ max_crashes_arg $ cooldown_arg $ guard_arg $ chaos_arg
-      $ chaos_every_arg $ chaos_seed_arg)
+      const action $ socket_arg $ shards_arg $ workers_arg $ queue_arg
+      $ timeout_arg $ max_cells_arg $ cache_dir_arg $ capacity_arg
+      $ no_cache_arg $ tech_file_arg $ crash_dir_arg $ max_crashes_arg
+      $ cooldown_arg $ guard_arg $ chaos_arg $ chaos_every_arg
+      $ chaos_seed_arg)
 
 (* Shared retry flags for the client-side commands. *)
 let retries_arg =
@@ -1121,8 +1215,32 @@ let soak_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress server log lines.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Soak the sharded topology: N forked shard servers under a \
+             health-checked pool, routed on SOCKET.  0 or 1 = a single \
+             in-process server.")
+  in
+  let shard_chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "shard-chaos" ]
+          ~doc:
+            "Inject seeded shard faults (SIGKILL / SIGSTOP a random \
+             shard) while the sharded soak is in flight.")
+  in
+  let shard_chaos_every_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "shard-chaos-every" ] ~docv:"K"
+          ~doc:"Inject a shard fault on every Kth pacer tick.")
+  in
   let action socket clients requests seed workers chaos chaos_every cache_dir
-      crash_dir deadline_ms json_out quiet =
+      crash_dir deadline_ms json_out quiet shards shard_chaos
+      shard_chaos_every =
     let config =
       {
         Dp_server.Soak.socket_path = socket;
@@ -1142,6 +1260,17 @@ let soak_cmd =
         cache_dir;
         crash_dir;
         deadline_ms;
+        shards;
+        shard_chaos =
+          (if shard_chaos then
+             Some
+               {
+                 Dp_server.Chaos.default_config with
+                 seed;
+                 every = shard_chaos_every;
+                 faults = Dp_server.Chaos.shard_faults;
+               }
+           else None);
         log =
           (if quiet then ignore
            else fun msg -> Fmt.epr "dpsyn soak: %s@." msg);
@@ -1172,7 +1301,8 @@ let soak_cmd =
     Term.(
       const action $ socket_arg $ clients_arg $ requests_arg $ seed_arg
       $ workers_arg $ chaos_arg $ chaos_every_arg $ cache_dir_arg
-      $ crash_dir_arg $ deadline_arg $ json_out_arg $ quiet_arg)
+      $ crash_dir_arg $ deadline_arg $ json_out_arg $ quiet_arg $ shards_arg
+      $ shard_chaos_arg $ shard_chaos_every_arg)
 
 let () =
   let doc = "fine-grained arithmetic datapath synthesis (DAC 2000 reproduction)" in

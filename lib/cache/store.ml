@@ -125,14 +125,48 @@ let magic = "dpsyn-cache/1\n"
 
 let entry_path dir digest = Filename.concat dir (digest ^ ".dpc")
 
+(* Cross-process discipline for the shared on-disk store.  Shard
+   processes share one cache directory, so two writers may race on the
+   same digest.  Two independent defenses:
+
+   - every writer stages into a tmp name unique to (pid, counter), so
+     concurrent writers can never interleave bytes in one file;
+   - an advisory per-digest lock file serializes the write+publish
+     critical section across processes, so renames are ordered and a
+     writer never publishes over a concurrent writer mid-flight.
+
+   Either alone keeps entries untorn (rename is atomic); together they
+   also keep the store's write ordering sane under contention.  The lock
+   is strictly best-effort: if the lock file cannot be opened or locked
+   the write proceeds unlocked — the unique tmp + atomic rename still
+   guarantees readers only ever see whole, checksummed entries. *)
+
+let with_digest_lock dir digest f =
+  let lock_path = Filename.concat dir (digest ^ ".lock") in
+  match Unix.openfile lock_path [ O_WRONLY; O_CREAT; O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+    let locked = try Unix.lockf fd Unix.F_LOCK 0; true with _ -> false in
+    Fun.protect
+      ~finally:(fun () ->
+        (if locked then try Unix.lockf fd Unix.F_ULOCK 0 with _ -> ());
+        try Unix.close fd with _ -> ())
+      f
+
+let tmp_counter = Atomic.make 0
+
 let write_disk t digest entry =
   match t.dir with
   | None -> ()
   | Some dir -> (
     let body = Marshal.to_string entry [] in
     let path = entry_path dir digest in
-    let tmp = path ^ ".tmp" in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_counter 1)
+    in
     try
+      with_digest_lock dir digest @@ fun () ->
       Out_channel.with_open_bin tmp (fun oc ->
           output_string oc magic;
           output_string oc (Digest.to_hex (Digest.string body));
@@ -210,10 +244,13 @@ let find t key =
 
 let add t key entry =
   let digest = Key.digest key in
-  Mutex.protect t.lock @@ fun () ->
-  insert t digest entry;
-  write_disk t digest entry;
-  t.stores <- t.stores + 1
+  (Mutex.protect t.lock @@ fun () ->
+   insert t digest entry;
+   t.stores <- t.stores + 1);
+  (* Disk write happens outside the in-memory lock: it can block on the
+     cross-process digest lock, and stalling every same-process lookup
+     behind another shard's disk write would defeat sharding. *)
+  write_disk t digest entry
 
 let mem_digests t =
   Mutex.protect t.lock @@ fun () ->

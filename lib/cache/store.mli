@@ -37,7 +37,12 @@ val create : ?capacity:int -> ?dir:string -> unit -> t
 val find : t -> Key.t -> entry option
 
 (** Insert (memory, and disk when enabled; disk write failures are
-    silently degraded — the cache is best-effort by design). *)
+    silently degraded — the cache is best-effort by design).  Disk
+    writes are safe across processes sharing one directory: each writer
+    stages into a unique temp file, takes an advisory per-digest lock,
+    and publishes with an atomic rename — concurrent writers on the same
+    digest leave exactly one whole, checksummed entry, and a reader
+    racing a writer sees the old entry, the new entry, or none. *)
 val add : t -> Key.t -> entry -> unit
 
 val stats : t -> stats

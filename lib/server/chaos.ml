@@ -4,9 +4,14 @@ type fault =
   | Truncate_response
   | Corrupt_cache
   | Corrupt_result
+  | Kill_shard
+  | Hang_shard
 
-let all =
+let process_faults =
   [ Worker_panic; Slow_worker; Truncate_response; Corrupt_cache; Corrupt_result ]
+
+let shard_faults = [ Kill_shard; Hang_shard ]
+let all = process_faults @ shard_faults
 
 let fault_name = function
   | Worker_panic -> "worker_panic"
@@ -14,12 +19,17 @@ let fault_name = function
   | Truncate_response -> "truncate_response"
   | Corrupt_cache -> "corrupt_cache"
   | Corrupt_result -> "corrupt_result"
+  | Kill_shard -> "kill_shard"
+  | Hang_shard -> "hang_shard"
 
 exception Panic
 
 type config = { seed : int; every : int; slow_s : float; faults : fault list }
 
-let default_config = { seed = 0; every = 7; slow_s = 0.05; faults = all }
+(* Shard faults are opt-in: the default keeps the process-level classes
+   only, so single-process chaos schedules (and their seeded tests) are
+   unchanged by the sharded faults' existence. *)
+let default_config = { seed = 0; every = 7; slow_s = 0.05; faults = process_faults }
 
 type t = {
   config : config;
@@ -43,6 +53,7 @@ let slow_s t = t.config.slow_s
 let site_faults = function
   | `Worker -> [ Worker_panic; Slow_worker; Corrupt_cache; Corrupt_result ]
   | `Respond -> [ Truncate_response ]
+  | `Shard -> shard_faults
 
 (* One global tick counter across all sites: every [every]-th tick picks
    a fault uniformly from the configured classes, and the pick only
@@ -66,6 +77,12 @@ let tick t ~site =
             (1 + Option.value (Hashtbl.find_opt t.counts f) ~default:0);
           Some f
         end
+
+(* Seeded uniform pick in [0, n) — used by the sharded soak to choose a
+   victim shard without consulting the wall clock. *)
+let pick t n =
+  if n <= 0 then invalid_arg "Chaos.pick: n must be >= 1";
+  Mutex.protect t.lock @@ fun () -> Random.State.int t.rng n
 
 let injected t =
   Mutex.protect t.lock @@ fun () ->

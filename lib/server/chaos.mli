@@ -20,6 +20,18 @@
       response lint guard must catch it as [DP-SRV-CORRUPT] instead of
       emitting a wrong answer.  (The copy keeps the cache clean.)
 
+    Shard-topology faults ([`Shard] site, opt-in — see
+    {!default_config}):
+
+    - {!Kill_shard} — SIGKILL a live shard process mid-soak; the pool's
+      waitpid monitor must detect it ([DP-SRV-SHARD-DOWN]), the router
+      must fail requests over to a fallback shard, and the supervisor
+      must restart it with backoff ([DP-SRV-SHARD-RESTART]).
+    - {!Hang_shard} — SIGSTOP a shard so it holds its socket but answers
+      nothing; only the health-check ping can catch this (waitpid sees a
+      stopped child as alive), after which the pool SIGKILLs and
+      restarts it.
+
     Faults fire every [every]-th tick, cycling deterministically from
     [seed]; with the same seed and request schedule a run is
     reproducible. *)
@@ -30,8 +42,18 @@ type fault =
   | Truncate_response
   | Corrupt_cache
   | Corrupt_result
+  | Kill_shard
+  | Hang_shard
 
 val all : fault list
+
+(** The single-process fault classes — the default [faults] list. *)
+val process_faults : fault list
+
+(** {!Kill_shard} and {!Hang_shard}; meaningful only at the [`Shard]
+    site, which only a sharded topology ticks. *)
+val shard_faults : fault list
+
 val fault_name : fault -> string
 
 (** Raised by {!Worker_panic} at the worker's job boundary. *)
@@ -44,6 +66,10 @@ type config = {
   faults : fault list;  (** the classes to cycle through *)
 }
 
+(** Defaults to {!process_faults} only, so existing single-process chaos
+    schedules (seeded tests included) are unaffected by the shard
+    classes; a sharded soak opts in with [faults = Chaos.shard_faults]
+    on its own chaos instance. *)
 val default_config : config
 
 type t
@@ -55,9 +81,13 @@ val slow_s : t -> float
 
 (** [tick t ~site] — one potential injection point.  Returns the fault
     to inject, already filtered to the classes meaningful at [site]
-    ([`Worker] or [`Respond]), or [None].  Thread-safe; the global tick
-    counter makes the schedule deterministic per run. *)
-val tick : t -> site:[ `Worker | `Respond ] -> fault option
+    ([`Worker], [`Respond] or [`Shard]), or [None].  Thread-safe; the
+    global tick counter makes the schedule deterministic per run. *)
+val tick : t -> site:[ `Worker | `Respond | `Shard ] -> fault option
+
+(** Seeded uniform pick in [\[0, n)] — victim-shard selection without
+    touching the wall clock.  @raise Invalid_argument on [n < 1]. *)
+val pick : t -> int -> int
 
 (** Injections delivered so far, per fault (for stats). *)
 val injected : t -> (string * int) list

@@ -8,6 +8,9 @@ let transport ?(code = "DP-PROTO004") ~context fmt =
     fmt
 
 let connect socket_path =
+  (* A server (or router) that dies between our write and its read must
+     surface as a typed transport error, not SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
   | () ->
@@ -78,7 +81,9 @@ let default_retry =
 
 let retryable (d : Diag.t) =
   match d.code with
-  | "DP-PROTO003" | "DP-PROTO004" | "DP-SRV-CRASH" | "DP-SRV-OVERLOAD" -> true
+  | "DP-PROTO003" | "DP-PROTO004" | "DP-SRV-CRASH" | "DP-SRV-OVERLOAD"
+  | "DP-SRV-SHARD-DOWN" ->
+    true
   | _ -> false
 
 let envelope_diag response =

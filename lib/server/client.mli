@@ -42,9 +42,10 @@ type retry = {
 val default_retry : retry
 
 (** Should this failure be retried?  True for the transport/truncation
-    codes above plus [DP-SRV-CRASH] and [DP-SRV-OVERLOAD] (the crash may
-    not recur; the breaker may close).  [DP-SRV-DEADLINE] is {e not}
-    retryable — the budget is spent. *)
+    codes above plus [DP-SRV-CRASH], [DP-SRV-OVERLOAD] and
+    [DP-SRV-SHARD-DOWN] (the crash may not recur; the breaker may
+    close; the shard may restart or the router fail over).
+    [DP-SRV-DEADLINE] is {e not} retryable — the budget is spent. *)
 val retryable : Dp_diag.Diag.t -> bool
 
 (** [call ~retry ~socket request] — a full connect/send/receive attempt

@@ -1,3 +1,5 @@
+module Diag = Dp_diag.Diag
+
 type t = {
   fd : Unix.file_descr;
   buf : Buffer.t;  (** bytes received but not yet returned *)
@@ -63,3 +65,36 @@ let read_line ?deadline t =
           else Truncated (drain_buffered t))
   in
   go ()
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+(* One whole line onto the descriptor, handling partial writes and a
+   peer that died mid-response.  With SIGPIPE ignored process-wide (the
+   server and router both do this at start), a write to a closed socket
+   surfaces as EPIPE/ECONNRESET here and becomes a typed transport
+   diagnostic — never a killed process, never an exception escaping the
+   connection handler. *)
+let write_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let peer_gone e =
+    Error
+      (Diag.v ~code:"DP-PROTO004" ~subsystem:"proto"
+         ~context:[ ("errno", Unix.error_message e) ]
+         "peer closed the connection while the response was being written")
+  in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ESHUTDOWN) as e, _, _)
+        ->
+        peer_gone e
+      | exception Unix.Unix_error (e, _, _) -> peer_gone e
+  in
+  go 0

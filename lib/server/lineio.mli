@@ -22,3 +22,11 @@ val create : Unix.file_descr -> t
     (absolute, [Unix.gettimeofday] clock) — whichever comes first.  A
     passed deadline with nothing buffered returns [Truncated ""]. *)
 val read_line : ?deadline:float -> t -> read_result
+
+(** [write_line fd line] writes [line ^ "\n"] whole, retrying partial
+    writes and [EINTR].  A peer that died mid-response (EPIPE,
+    ECONNRESET, …) comes back as a [DP-PROTO004] diagnostic instead of
+    an exception — callers must have SIGPIPE ignored process-wide
+    (servers do this at start) so the kernel reports the broken pipe as
+    an errno rather than a signal. *)
+val write_line : Unix.file_descr -> string -> (unit, Dp_diag.Diag.t) result

@@ -41,6 +41,7 @@ type request =
   | Synth of synth_params
   | Batch of synth_params list
   | Stats
+  | Ping
   | Shutdown
 
 type envelope = { id : Json.t; req : request }
@@ -101,6 +102,27 @@ let serve_request ~tech p =
       (Dp_cache.Serve.request ~width:p.width ~strategy:p.strategy
          ~adder:p.adder ~lower_config:p.lower_config
          ~check_level:p.check_level ~tech env p.expr)
+
+(* The content address of a request, computed the same way the shard
+   will compute it ([Key.make] over the canonical expression and the
+   resolved width).  This is what the router shards on — router and
+   shard must agree byte-for-byte on the digest or routing would be
+   arbitrary.  [None] when the parameters cannot produce a key (env
+   construction or coverage fails); such requests still go to a shard,
+   which produces the typed error the client expects. *)
+let digest_of_params ~tech p =
+  match env_of_params p with
+  | Error _ -> None
+  | Ok env -> (
+    match Dp_expr.Env.check_covers_res p.expr env with
+    | Error _ -> None
+    | Ok () -> (
+      match
+        Dp_cache.Key.make ~tech ~adder:p.adder ~lower_config:p.lower_config
+          ~check_level:p.check_level ?width:p.width p.strategy env p.expr
+      with
+      | key -> Some (Dp_cache.Key.digest key)
+      | exception _ -> None))
 
 (* ------------------------------------------------------------------ *)
 (* JSON → request *)
@@ -265,7 +287,9 @@ let request_of_json j =
   let id = Option.value (Json.member "id" j) ~default:Json.Null in
   let req =
     match Json.member "op" j |> Fun.flip Option.bind Json.to_str with
-    | None -> field_err "op" "expected \"synth\", \"batch\", \"stats\" or \"shutdown\""
+    | None ->
+      field_err "op"
+        "expected \"synth\", \"batch\", \"stats\", \"ping\" or \"shutdown\""
     | Some "synth" ->
       let* p = params_of_json j in
       Ok (Synth p)
@@ -276,6 +300,7 @@ let request_of_json j =
         Ok (Batch ps)
       | _ -> field_err "requests" "expected an array of synth request objects")
     | Some "stats" -> Ok Stats
+    | Some "ping" -> Ok Ping
     | Some "shutdown" -> Ok Shutdown
     | Some op -> field_err "op" "unknown op %S" op
   in
@@ -351,6 +376,7 @@ let request_to_json { id; req } =
           ("requests", Json.List (List.map (fun p -> Json.Obj (params_fields p)) ps));
         ])
   | Stats -> Json.Obj (id_field @ [ ("op", Json.Str "stats") ])
+  | Ping -> Json.Obj (id_field @ [ ("op", Json.Str "ping") ])
   | Shutdown -> Json.Obj (id_field @ [ ("op", Json.Str "shutdown") ])
 
 (* ------------------------------------------------------------------ *)

@@ -37,6 +37,9 @@ type request =
   | Synth of synth_params
   | Batch of synth_params list
   | Stats
+  | Ping  (** liveness probe: answered inline by the connection handler,
+              never queued — a server with wedged workers still pongs,
+              a hung process does not *)
   | Shutdown
 
 type envelope = { id : Json.t; req : request }
@@ -63,6 +66,13 @@ val env_of_params : synth_params -> (Dp_expr.Env.t, Dp_diag.Diag.t) result
 val serve_request :
   tech:Dp_tech.Tech.t -> synth_params ->
   (Dp_cache.Serve.request, Dp_diag.Diag.t) result
+
+(** The request's content address ({!Dp_cache.Key.digest}), computed
+    exactly as the serving shard will compute it — the router shards on
+    this.  [None] when no key can be built (bad env/coverage); the
+    request is still forwarded so the shard can produce the typed
+    error. *)
+val digest_of_params : tech:Dp_tech.Tech.t -> synth_params -> string option
 
 (** Parse one synth-parameter object (the shape batch elements use). *)
 val params_of_json : Json.t -> (synth_params, Dp_diag.Diag.t) result

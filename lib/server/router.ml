@@ -1,0 +1,470 @@
+(* The sharded front: one Unix socket facing clients, N shard server
+   processes (a [Shard_pool]) behind it.
+
+   Every synthesis request is routed by its content address — the first
+   byte of the request digest, modulo the shard count — so a given
+   request always lands on the same home shard and the shards' disk
+   stores stay hot on disjoint digest ranges.  When the home shard is
+   down (restart backoff) or fails mid-forward, the request walks to the
+   next live shard instead: requests are digest-keyed and idempotent, so
+   a fallback shard computes (or serves from the shared disk store) the
+   exact same bytes.  Only when every shard is unreachable does the
+   client see an error — the retryable [DP-SRV-SHARD-DOWN].
+
+   The router speaks the same line protocol as a single server, so
+   [dpsyn client] cannot tell the difference; [stats] answers with
+   counters aggregated across the whole topology. *)
+
+module Diag = Dp_diag.Diag
+
+type config = {
+  socket_path : string;
+  pool : Shard_pool.t;
+  tech : Dp_tech.Tech.t;  (* must match the shards', or digests disagree *)
+  forward_timeout_s : float;
+  log : string -> unit;
+  handle_signals : bool;
+}
+
+let default_config ~socket_path ~pool =
+  {
+    socket_path;
+    pool;
+    tech = Dp_tech.Tech.lcb_like;
+    forward_timeout_s = 60.0;
+    log = ignore;
+    handle_signals = false;
+  }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable signal_thread : Thread.t option;
+  state_lock : Mutex.t;
+  mutable shutting_down : bool;
+  mutable connections : int;
+  mutable routed : int;  (* forwards answered by a shard *)
+  mutable failovers : int;  (* forwards answered by a non-home shard *)
+  mutable forward_errors : int;  (* forwards no shard could answer *)
+}
+
+let locked t f = Mutex.protect t.state_lock f
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+let home_of t (p : Protocol.synth_params) =
+  let n = Shard_pool.shard_count t.config.pool in
+  match Protocol.digest_of_params ~tech:t.config.tech p with
+  | None -> 0  (* no key — shard 0 produces the typed error *)
+  | Some digest -> (
+    match int_of_string ("0x" ^ String.sub digest 0 2) with
+    | byte -> byte mod n
+    | exception _ -> 0)
+
+let attempt t socket json =
+  match Client.connect socket with
+  | Error _ as e -> e
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let deadline = Unix.gettimeofday () +. t.config.forward_timeout_s in
+    Client.rpc ~deadline c json
+
+(* Forward to the home shard, failing over along home+1, home+2, … —
+   shards the pool believes down are skipped, shards that error at the
+   transport level (died between the pool noticing and our connect, or
+   hung past the forward deadline) are walked past the same way.  An
+   error *envelope* from a shard is a valid answer and is never failed
+   over: the fallback would compute the identical typed error. *)
+let forward t ~home json =
+  let pool = t.config.pool in
+  let n = Shard_pool.shard_count pool in
+  let rec go k =
+    if k >= n then begin
+      locked t (fun () -> t.forward_errors <- t.forward_errors + 1);
+      Error
+        (Diag.v ~code:"DP-SRV-SHARD-DOWN" ~subsystem:"server"
+           ~context:
+             [ ("home", string_of_int home); ("shards", string_of_int n) ]
+           "no shard could serve this request; its home shard is restarting")
+    end
+    else
+      let i = (home + k) mod n in
+      if not (Shard_pool.is_up pool i) then go (k + 1)
+      else
+        match attempt t (Shard_pool.socket_of pool i) json with
+        | Ok resp ->
+          locked t (fun () ->
+              t.routed <- t.routed + 1;
+              if i <> home then t.failovers <- t.failovers + 1);
+          Ok resp
+        | Error _ -> go (k + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Batch: partition by home shard, forward the sub-batches concurrently,
+   stitch the elements back into request order. *)
+
+let shard_error_element d =
+  Json.Obj [ ("ok", Json.Bool false); ("error", Protocol.diag_to_json d) ]
+
+let malformed_shard_response () =
+  Diag.v ~code:"DP-PROTO005" ~subsystem:"proto"
+    "shard returned a malformed batch response"
+
+let handle_batch t ps =
+  let ps_arr = Array.of_list ps in
+  let n = Shard_pool.shard_count t.config.pool in
+  let groups = Array.make n [] in
+  Array.iteri
+    (fun idx p ->
+      let h = home_of t p in
+      groups.(h) <- idx :: groups.(h))
+    ps_arr;
+  let results = Array.make (Array.length ps_arr) Json.Null in
+  let run_group home idxs =
+    let sub = List.map (fun i -> ps_arr.(i)) idxs in
+    let json =
+      Protocol.request_to_json { Protocol.id = Json.Null; req = Protocol.Batch sub }
+    in
+    let fill_err d =
+      let el = shard_error_element d in
+      List.iter (fun i -> results.(i) <- el) idxs
+    in
+    match forward t ~home json with
+    | Error d -> fill_err d
+    | Ok resp -> (
+      match Json.member "ok" resp |> Fun.flip Option.bind Json.to_bool with
+      | Some true -> (
+        match Json.member "results" resp with
+        | Some (Json.List els) when List.length els = List.length idxs ->
+          List.iter2 (fun i el -> results.(i) <- el) idxs els
+        | _ -> fill_err (malformed_shard_response ()))
+      | Some false ->
+        (* The shard rejected the whole sub-batch with one typed error
+           (e.g. shutdown); every element inherits it. *)
+        let el =
+          Json.Obj
+            [
+              ("ok", Json.Bool false);
+              ( "error",
+                Option.value (Json.member "error" resp) ~default:Json.Null );
+            ]
+        in
+        List.iter (fun i -> results.(i) <- el) idxs
+      | None -> fill_err (malformed_shard_response ()))
+  in
+  let threads =
+    List.concat
+      (List.init n (fun home ->
+           match groups.(home) with
+           | [] -> []
+           | rev ->
+             let idxs = List.rev rev in
+             [ Thread.create (fun () -> run_group home idxs) () ]))
+  in
+  List.iter Thread.join threads;
+  Array.to_list results
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated stats *)
+
+let get_int j name =
+  Option.value (Json.member name j |> Fun.flip Option.bind Json.to_int) ~default:0
+
+let sum_field objs name =
+  Json.Int (List.fold_left (fun acc j -> acc + get_int j name) 0 objs)
+
+let sum_obj objs name fields =
+  let subs =
+    List.filter_map
+      (fun j ->
+        match Json.member name j with Some (Json.Obj _ as o) -> Some o | _ -> None)
+      objs
+  in
+  if subs = [] then Json.Null
+  else Json.Obj (List.map (fun f -> (f, sum_field subs f)) fields)
+
+(* Buckets are positional and identical across shards (same build). *)
+let sum_latency objs =
+  let buckets =
+    List.filter_map
+      (fun j ->
+        match Json.member "latency_ms" j with
+        | Some (Json.List bs) -> Some bs
+        | _ -> None)
+      objs
+  in
+  match buckets with
+  | [] -> Json.List []
+  | first :: _ ->
+    let les =
+      Array.of_list
+        (List.map
+           (fun b -> Option.value (Json.member "le_ms" b) ~default:Json.Null)
+           first)
+    in
+    let counts = Array.make (Array.length les) 0 in
+    List.iter
+      (List.iteri (fun i b ->
+           if i < Array.length counts then
+             counts.(i) <- counts.(i) + get_int b "count"))
+      buckets;
+    Json.List
+      (List.init (Array.length counts) (fun i ->
+           Json.Obj [ ("le_ms", les.(i)); ("count", Json.Int counts.(i)) ]))
+
+let stats_json t =
+  let pool = t.config.pool in
+  let n = Shard_pool.shard_count pool in
+  let req =
+    Protocol.request_to_json
+      { Protocol.id = Json.Str "router-stats"; req = Protocol.Stats }
+  in
+  let shard_stats =
+    List.init n (fun i ->
+        if not (Shard_pool.is_up pool i) then None
+        else
+          match attempt t (Shard_pool.socket_of pool i) req with
+          | Error _ -> None
+          | Ok resp -> Json.member "stats" resp)
+    |> List.filter_map Fun.id
+  in
+  let connections, routed, failovers, forward_errors =
+    locked t (fun () -> (t.connections, t.routed, t.failovers, t.forward_errors))
+  in
+  Json.Obj
+    [
+      ("served", sum_field shard_stats "served");
+      ("errors", sum_field shard_stats "errors");
+      ("connections", sum_field shard_stats "connections");
+      ("workers", sum_field shard_stats "workers");
+      ("queue_depth", sum_field shard_stats "queue_depth");
+      ( "cache",
+        sum_obj shard_stats "cache"
+          [ "hits"; "disk_hits"; "misses"; "evictions"; "corrupt"; "stores"; "entries" ]
+      );
+      ( "supervisor",
+        sum_obj shard_stats "supervisor"
+          [
+            "crashes";
+            "restarts";
+            "rejected";
+            "crash_dumps";
+            "deadline_expired";
+            "guard_rejects";
+          ] );
+      ("latency_ms", sum_latency shard_stats);
+      ( "router",
+        Json.Obj
+          [
+            ("connections", Json.Int connections);
+            ("routed", Json.Int routed);
+            ("failovers", Json.Int failovers);
+            ("forward_errors", Json.Int forward_errors);
+            ("shards_reporting", Json.Int (List.length shard_stats));
+          ] );
+      ("shard_pool", Shard_pool.stats_json pool);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown *)
+
+let request_shutdown t =
+  let first =
+    locked t (fun () ->
+        if t.shutting_down then false
+        else begin
+          t.shutting_down <- true;
+          true
+        end)
+  in
+  if first then begin
+    t.config.log "router shutting down";
+    (try Sys.remove t.config.socket_path with Sys_error _ -> ());
+    try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling (mirrors Server's: read lines, answer lines) *)
+
+exception Peer_gone of Diag.t
+
+let respond fd json =
+  match Lineio.write_line fd (Json.to_string json) with
+  | Ok () -> ()
+  | Error d -> raise (Peer_gone d)
+
+let handle_line t fd line =
+  match Protocol.request_of_line line with
+  | Error d ->
+    respond fd (Protocol.error_response ~id:(Protocol.id_of_line line) d);
+    `Continue
+  | Ok { Protocol.id; req } -> (
+    match req with
+    | Protocol.Ping ->
+      respond fd (Protocol.ok_response ~id [ ("pong", Json.Bool true) ]);
+      `Continue
+    | Protocol.Stats ->
+      respond fd (Protocol.ok_response ~id [ ("stats", stats_json t) ]);
+      `Continue
+    | Protocol.Shutdown ->
+      respond fd (Protocol.ok_response ~id []);
+      request_shutdown t;
+      `Close
+    | Protocol.Synth p -> (
+      let home = home_of t p in
+      let json =
+        Protocol.request_to_json { Protocol.id; req = Protocol.Synth p }
+      in
+      match forward t ~home json with
+      | Ok resp ->
+        (* Relay the shard's envelope; the deterministic printer makes
+           the re-serialization byte-identical to the shard's own line,
+           so sharding is invisible to byte-comparing clients. *)
+        respond fd resp;
+        `Continue
+      | Error d ->
+        respond fd (Protocol.error_response ~id d);
+        `Continue)
+    | Protocol.Batch ps ->
+      let elements = handle_batch t ps in
+      respond fd (Protocol.batch_response ~id elements);
+      `Continue)
+
+let handle_connection t fd =
+  locked t (fun () -> t.connections <- t.connections + 1);
+  let reader = Lineio.create fd in
+  let rec loop () =
+    match Lineio.read_line reader with
+    | Lineio.Eof -> ()
+    | Lineio.Truncated partial ->
+      (try
+         respond fd
+           (Protocol.error_response ~id:Json.Null
+              (Diag.v ~code:"DP-PROTO003" ~subsystem:"proto"
+                 ~context:
+                   [ ("buffered_bytes", string_of_int (String.length partial)) ]
+                 "request line truncated: stream ended before the newline"))
+       with Peer_gone _ -> ())
+    | Lineio.Line "" -> loop ()
+    | Lineio.Line line -> (
+      match handle_line t fd line with
+      | `Continue -> loop ()
+      | `Close -> ()
+      | exception Peer_gone d ->
+        t.config.log (Printf.sprintf "router: dropping connection: %s" d.Diag.message))
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec go () =
+    if locked t (fun () -> t.shutting_down) then ()
+    else
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | ready, _, _ ->
+        if List.mem t.wake_r ready then begin
+          (try ignore (Unix.read t.wake_r (Bytes.create 1) 0 1)
+           with Unix.Unix_error _ -> ());
+          if not (locked t (fun () -> t.shutting_down)) then request_shutdown t
+        end
+        else (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+            ignore (Thread.create (fun () -> handle_connection t fd) ());
+            go ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            go ()
+          | exception Unix.Unix_error (_, _, _) -> ())
+  in
+  go ();
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let start (config : config) =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock listen_fd;
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 16;
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      config;
+      listen_fd;
+      wake_r;
+      wake_w;
+      accept_thread = None;
+      signal_thread = None;
+      state_lock = Mutex.create ();
+      shutting_down = false;
+      connections = 0;
+      routed = 0;
+      failovers = 0;
+      forward_errors = 0;
+    }
+  in
+  if config.handle_signals then begin
+    (* Same sigwait-thread discipline as [Server.start]: handlers must
+       not depend on the kernel picking a runnable thread. *)
+    let watched = [ Sys.sigterm; Sys.sigint; Sys.sigusr2 ] in
+    ignore (Thread.sigmask Unix.SIG_BLOCK watched);
+    let rec watch ~first =
+      let s = Thread.wait_signal watched in
+      if s <> Sys.sigusr2 then
+        if first then begin
+          (try ignore (Unix.write t.wake_w (Bytes.of_string "s") 0 1)
+           with Unix.Unix_error _ -> ());
+          watch ~first:false
+        end
+        else Stdlib.exit 130
+      else ()
+    in
+    t.signal_thread <- Some (Thread.create (fun () -> watch ~first:true) ())
+  end;
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  config.log
+    (Printf.sprintf "router listening on %s (%d shards)" config.socket_path
+       (Shard_pool.shard_count config.pool));
+  t
+
+let wait t =
+  Option.iter Thread.join t.accept_thread;
+  t.accept_thread <- None;
+  (match t.signal_thread with
+  | None -> ()
+  | Some th ->
+    (try Unix.kill (Unix.getpid ()) Sys.sigusr2 with Unix.Unix_error _ -> ());
+    Thread.join th;
+    t.signal_thread <- None;
+    ignore
+      (Thread.sigmask Unix.SIG_UNBLOCK [ Sys.sigterm; Sys.sigint; Sys.sigusr2 ]));
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (* The front is down; take the fleet with it. *)
+  Shard_pool.shutdown t.config.pool;
+  let connections, routed, failovers, forward_errors =
+    locked t (fun () -> (t.connections, t.routed, t.failovers, t.forward_errors))
+  in
+  let restarts, health_kills = Shard_pool.counters t.config.pool in
+  t.config.log
+    (Printf.sprintf
+       "router drained: connections=%d routed=%d failovers=%d \
+        forward_errors=%d shard_restarts=%d health_kills=%d"
+       connections routed failovers forward_errors restarts health_kills)
+
+let run config =
+  let t = start config in
+  wait t

@@ -1,0 +1,63 @@
+(** The sharded serving front: one client-facing Unix socket, a
+    {!Shard_pool} of server processes behind it.
+
+    Requests are routed by content address — the first byte of the
+    request digest (computed with {!Protocol.digest_of_params}, exactly
+    as the shard itself would) modulo the shard count — so each request
+    has a stable {e home shard}.  When the home shard is down or fails
+    mid-forward, the request {e fails over} to the next live shard
+    (home+1, home+2, …): requests are digest-keyed and idempotent, and
+    all shards share the disk store, so the fallback returns the exact
+    bytes the home shard would have.  Only when no shard can answer does
+    the client see the retryable [DP-SRV-SHARD-DOWN].
+
+    The router speaks the single-server line protocol verbatim:
+
+    - [synth] — forwarded whole; the shard's response envelope is
+      relayed byte-identically (the deterministic JSON printer makes the
+      re-serialization exact);
+    - [batch] — partitioned by home shard, forwarded as concurrent
+      sub-batches, elements stitched back into request order;
+    - [stats] — counters summed across every reporting shard
+      (served/errors/cache/supervisor/latency histogram), plus a
+      [router] section (routed/failovers/forward_errors) and the pool's
+      per-shard detail;
+    - [ping] — answered locally;
+    - [shutdown] — acknowledged, then the router and the whole pool shut
+      down. *)
+
+type config = {
+  socket_path : string;
+  pool : Shard_pool.t;  (** started by the caller; {!wait} shuts it down *)
+  tech : Dp_tech.Tech.t;
+      (** must match the shards' technology or router and shard would
+          compute different digests *)
+  forward_timeout_s : float;  (** per-shard forward deadline *)
+  log : string -> unit;
+  handle_signals : bool;  (** SIGTERM/SIGINT → graceful shutdown *)
+}
+
+(** lcb_like tech, 60 s forward timeout, no signals, silent log. *)
+val default_config : socket_path:string -> pool:Shard_pool.t -> config
+
+type t
+
+(** Bind the front socket and start accepting.  Ignores SIGPIPE
+    process-wide. *)
+val start : config -> t
+
+(** The home shard for these parameters (digest prefix mod shard count;
+    shard 0 when no digest can be computed).  Exposed for tests. *)
+val home_of : t -> Protocol.synth_params -> int
+
+(** Aggregated topology stats (the [stats] op's payload). *)
+val stats_json : t -> Json.t
+
+(** Idempotent: stop accepting, unlink the front socket. *)
+val request_shutdown : t -> unit
+
+(** Join the accept and signal threads, then shut the pool down too. *)
+val wait : t -> unit
+
+(** [start] + [wait]. *)
+val run : config -> unit

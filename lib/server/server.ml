@@ -329,7 +329,9 @@ let process t job =
       | Some Chaos.Corrupt_cache ->
         Option.iter (Chaos.corrupt_cache_entry c) t.config.store
       | Some Chaos.Corrupt_result -> corrupt_result := true
-      | Some Chaos.Truncate_response -> ()));
+      (* response- and shard-level faults are other sites' business *)
+      | Some (Chaos.Truncate_response | Chaos.Kill_shard | Chaos.Hang_shard) ->
+        ()));
     let budget =
       Dp_fuzz.Budget.clamp_deadline t.config.budget ~now ~deadline:job.deadline
     in
@@ -527,48 +529,60 @@ let request_shutdown t =
 (* A chaos-torn response: the connection must die mid-line. *)
 exception Torn_response
 
-let respond t oc json =
-  let line = Json.to_string json ^ "\n" in
+(* The peer vanished mid-response: [Lineio.write_line] returned its
+   typed EPIPE/ECONNRESET diagnostic.  The connection closes; the
+   process (SIGPIPE is ignored) never notices beyond a log line. *)
+exception Peer_gone of Diag.t
+
+let respond t fd json =
+  let line = Json.to_string json in
   match Option.bind t.chaos (fun c -> Chaos.tick c ~site:`Respond) with
   | Some Chaos.Truncate_response ->
-    let cut = max 1 (String.length line / 2) in
-    output_string oc (String.sub line 0 cut);
-    flush oc;
+    let wire = line ^ "\n" in
+    let cut = max 1 (String.length wire / 2) in
+    (try ignore (Unix.write fd (Bytes.of_string wire) 0 cut)
+     with Unix.Unix_error _ -> ());
     raise Torn_response
-  | _ ->
-    output_string oc line;
-    flush oc
+  | _ -> (
+    match Lineio.write_line fd line with
+    | Ok () -> ()
+    | Error d -> raise (Peer_gone d))
 
-let handle_line t oc line =
+let handle_line t fd line =
   match Protocol.request_of_line line with
   | Error d ->
     locked t (fun () -> t.errors <- t.errors + 1);
-    respond t oc (Protocol.error_response ~id:(Protocol.id_of_line line) d);
+    respond t fd (Protocol.error_response ~id:(Protocol.id_of_line line) d);
     `Continue
   | Ok { id; req } -> (
     match req with
     | Protocol.Stats ->
-      respond t oc (Protocol.ok_response ~id [ ("stats", stats_json t) ]);
+      respond t fd (Protocol.ok_response ~id [ ("stats", stats_json t) ]);
+      `Continue
+    | Protocol.Ping ->
+      (* Answered inline, never queued: a pong proves the accept loop and
+         this handler thread are alive even while every worker is wedged —
+         exactly the liveness the shard pool's health check probes. *)
+      respond t fd (Protocol.ok_response ~id [ ("pong", Json.Bool true) ]);
       `Continue
     | Protocol.Shutdown ->
-      respond t oc (Protocol.ok_response ~id []);
+      respond t fd (Protocol.ok_response ~id []);
       request_shutdown t;
       `Close
     | Protocol.Synth p -> (
       match run_jobs t [ p ] with
-      | [ Ok o ] -> respond t oc (Protocol.synth_response ~id p o); `Continue
-      | [ Error d ] -> respond t oc (Protocol.error_response ~id d); `Continue
+      | [ Ok o ] -> respond t fd (Protocol.synth_response ~id p o); `Continue
+      | [ Error d ] -> respond t fd (Protocol.error_response ~id d); `Continue
       | _ -> assert false)
     | Protocol.Batch ps ->
       let results = run_jobs t ps in
       let elements = List.map2 Protocol.batch_element ps results in
-      respond t oc (Protocol.batch_response ~id elements);
+      respond t fd (Protocol.batch_response ~id elements);
       `Continue)
 
 let handle_connection t fd =
   locked t (fun () -> t.connections <- t.connections + 1);
   let reader = Lineio.create fd in
-  let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
     match Lineio.read_line reader with
     | Lineio.Eof -> ()
@@ -577,19 +591,20 @@ let handle_connection t fd =
          truncation diagnostic in case its read side is still open. *)
       locked t (fun () -> t.errors <- t.errors + 1);
       (try
-         respond t oc
+         respond t fd
            (Protocol.error_response ~id:Json.Null
               (Diag.v ~code:"DP-PROTO003" ~subsystem:"proto"
                  ~context:[ ("buffered_bytes", string_of_int (String.length partial)) ]
                  "request line truncated: stream ended before the newline"))
-       with Torn_response | Sys_error _ -> ())
+       with Torn_response | Peer_gone _ -> ())
     | Lineio.Line "" -> loop ()
     | Lineio.Line line -> (
-      match handle_line t oc line with
+      match handle_line t fd line with
       | `Continue -> loop ()
       | `Close -> ()
       | exception Torn_response -> ()
-      | exception Sys_error _ -> () (* peer went away mid-response *))
+      | exception Peer_gone d ->
+        t.config.log (Printf.sprintf "dropping connection: %s" d.Diag.message))
   in
   loop ();
   try Unix.close fd with Unix.Unix_error _ -> ()

@@ -10,6 +10,8 @@ type config = {
   cache_dir : string option;
   crash_dir : string option;
   deadline_ms : float option;
+  shards : int;
+  shard_chaos : Chaos.config option;
   log : string -> unit;
 }
 
@@ -24,6 +26,8 @@ let default_config ~socket_path =
     cache_dir = None;
     crash_dir = None;
     deadline_ms = None;
+    shards = 0;
+    shard_chaos = None;
     log = ignore;
   }
 
@@ -38,6 +42,10 @@ type report = {
   p50_ms : float;
   p99_ms : float;
   throughput_rps : float;
+  shard_kills : int;
+  shard_hangs : int;
+  shard_restarts : int;
+  shard_health_kills : int;
 }
 
 let passed r = r.violations = 0 && r.wrong_answers = 0
@@ -57,6 +65,10 @@ let report_json r =
       ("p50_ms", Json.Float r.p50_ms);
       ("p99_ms", Json.Float r.p99_ms);
       ("throughput_rps", Json.Float r.throughput_rps);
+      ("shard_kills", Json.Int r.shard_kills);
+      ("shard_hangs", Json.Int r.shard_hangs);
+      ("shard_restarts", Json.Int r.shard_restarts);
+      ("shard_health_kills", Json.Int r.shard_health_kills);
     ]
 
 let pp_report ppf r =
@@ -64,13 +76,18 @@ let pp_report ppf r =
     "@[<v>requests: %d (ok %d, typed errors %d)@,\
      wrong answers: %d@,violations: %d@,\
      latency: p50 %.1f ms, p99 %.1f ms@,\
-     throughput: %.1f req/s over %.2f s@,errors by code:%s@]"
+     throughput: %.1f req/s over %.2f s@,errors by code:%s%s@]"
     r.requests r.ok r.typed_errors r.wrong_answers r.violations r.p50_ms
     r.p99_ms r.throughput_rps r.elapsed_s
     (if r.error_codes = [] then " (none)"
      else
        String.concat ""
          (List.map (fun (c, n) -> Printf.sprintf " %s=%d" c n) r.error_codes))
+    (if r.shard_kills + r.shard_hangs + r.shard_restarts = 0 then ""
+     else
+       Printf.sprintf
+         "\nshard faults: kills=%d hangs=%d restarts=%d health_kills=%d"
+         r.shard_kills r.shard_hangs r.shard_restarts r.shard_health_kills)
 
 (* ------------------------------------------------------------------ *)
 (* The request pool: small, cheap, structurally varied expressions with
@@ -225,34 +242,21 @@ let percentile sorted p =
     let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) idx))
 
-let run config =
-  let pool = build_pool () in
-  let store =
-    Some (Dp_cache.Store.create ~capacity:64 ?dir:config.cache_dir ())
-  in
-  let server_config =
-    {
-      (Server.default_config ~socket_path:config.socket_path) with
-      Server.store;
-      workers = config.workers;
-      chaos = config.chaos;
-      crash_dir = config.crash_dir;
-      guard_responses = true;
-      log = config.log;
-    }
-  in
-  let server = Server.start server_config in
-  let tally =
-    {
-      lock = Mutex.create ();
-      ok = 0;
-      typed_errors = 0;
-      wrong_answers = 0;
-      violations = 0;
-      codes = Hashtbl.create 16;
-      latencies_ms = [];
-    }
-  in
+let fresh_tally () =
+  {
+    lock = Mutex.create ();
+    ok = 0;
+    typed_errors = 0;
+    wrong_answers = 0;
+    violations = 0;
+    codes = Hashtbl.create 16;
+    latencies_ms = [];
+  }
+
+(* Run the client fleet against whatever is listening on
+   [config.socket_path] and fold the tally into a report (shard-fault
+   counters are filled in by the sharded driver). *)
+let drive config pool tally =
   let t0 = Unix.gettimeofday () in
   let threads =
     List.init config.clients (fun k ->
@@ -260,9 +264,6 @@ let run config =
   in
   List.iter Thread.join threads;
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  (* Graceful shutdown; [wait] returning means no leaked server threads. *)
-  Server.request_shutdown server;
-  Server.wait server;
   let sorted = Array.of_list tally.latencies_ms in
   Array.sort compare sorted;
   let requests = config.clients * config.requests_per_client in
@@ -280,4 +281,162 @@ let run config =
     p99_ms = percentile sorted 99.0;
     throughput_rps =
       (if elapsed_s > 0.0 then float_of_int requests /. elapsed_s else 0.0);
+    shard_kills = 0;
+    shard_hangs = 0;
+    shard_restarts = 0;
+    shard_health_kills = 0;
   }
+
+let run_single config =
+  let pool = build_pool () in
+  let store =
+    Some (Dp_cache.Store.create ~capacity:64 ?dir:config.cache_dir ())
+  in
+  let server_config =
+    {
+      (Server.default_config ~socket_path:config.socket_path) with
+      Server.store;
+      workers = config.workers;
+      chaos = config.chaos;
+      crash_dir = config.crash_dir;
+      guard_responses = true;
+      log = config.log;
+    }
+  in
+  let server = Server.start server_config in
+  let report = drive config pool (fresh_tally ()) in
+  (* Graceful shutdown; [wait] returning means no leaked server threads. *)
+  Server.request_shutdown server;
+  Server.wait server;
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Sharded topology: N forked shard processes under a Shard_pool, a
+   Router in front, the same client fleet and the same invariants —
+   plus a pacer thread delivering shard-level faults (SIGKILL /
+   SIGSTOP) from the seeded shard-chaos schedule while requests are in
+   flight. *)
+
+let run_sharded config =
+  let pool = build_pool () in
+  let spawn =
+    Shard_pool.Spawn_fork
+      (fun ~id:_ ~socket_path ->
+        (* The child is a complete single-process server sharing the
+           soak's disk store directory with its siblings.
+           [handle_signals] makes the pool's SIGTERM a graceful drain. *)
+        let store =
+          Some (Dp_cache.Store.create ~capacity:64 ?dir:config.cache_dir ())
+        in
+        Server.run
+          {
+            (Server.default_config ~socket_path) with
+            Server.store;
+            workers = config.workers;
+            chaos = config.chaos;
+            crash_dir = config.crash_dir;
+            guard_responses = true;
+            handle_signals = true;
+            log = ignore;
+          })
+  in
+  let pool_config =
+    {
+      (Shard_pool.default_config ~shards:config.shards ~spawn
+         ~socket_for:(fun i -> config.socket_path ^ "." ^ string_of_int i))
+      with
+      Shard_pool.health_period_s = 0.1;
+      health_timeout_s = 0.5;
+      health_failures = 2;
+      stable_s = 0.5;
+      poll_period_s = 0.02;
+      (* Generous restart intensity: the soak wants to watch shards come
+         back, so kills within the run must not wedge the breaker open
+         for its whole duration. *)
+      supervisor =
+        {
+          Supervisor.max_crashes = 50;
+          window_s = 5.0;
+          cooldown_s = 0.5;
+          backoff_base_s = 0.02;
+          backoff_max_s = 0.2;
+        };
+      log = config.log;
+    }
+  in
+  let shard_pool = Shard_pool.start pool_config in
+  if not (Shard_pool.wait_all_up ~timeout_s:30.0 shard_pool) then begin
+    Shard_pool.shutdown shard_pool;
+    Diag.fail
+      (Diag.v ~code:"DP-SRV-SHARD-DOWN" ~subsystem:"server"
+         "sharded soak: shards never came up")
+  end;
+  let router =
+    Router.start
+      {
+        (Router.default_config ~socket_path:config.socket_path
+           ~pool:shard_pool)
+        with
+        Router.forward_timeout_s = 20.0;
+        log = config.log;
+      }
+  in
+  (* The shard-fault pacer: ticks the seeded shard-chaos schedule while
+     clients are in flight.  Kills count only when the signal landed. *)
+  let kills = ref 0 and hangs = ref 0 in
+  let stop_faults = ref false in
+  let fault_lock = Mutex.create () in
+  let fault_thread =
+    match config.shard_chaos with
+    | None -> None
+    | Some cc ->
+      let chaos = Chaos.create cc in
+      Some
+        (Thread.create
+           (fun () ->
+             let rec go () =
+               if Mutex.protect fault_lock (fun () -> !stop_faults) then ()
+               else begin
+                 (match Chaos.tick chaos ~site:`Shard with
+                 | Some Chaos.Kill_shard ->
+                   let v = Chaos.pick chaos config.shards in
+                   if Shard_pool.signal_shard shard_pool v Sys.sigkill then begin
+                     incr kills;
+                     config.log
+                       (Printf.sprintf "soak: SIGKILLed shard %d" v)
+                   end
+                 | Some Chaos.Hang_shard ->
+                   let v = Chaos.pick chaos config.shards in
+                   if Shard_pool.signal_shard shard_pool v Sys.sigstop then begin
+                     incr hangs;
+                     config.log
+                       (Printf.sprintf "soak: SIGSTOPped shard %d" v)
+                   end
+                 | _ -> ());
+                 Thread.delay 0.05;
+                 go ()
+               end
+             in
+             go ())
+           ())
+  in
+  let report = drive config pool (fresh_tally ()) in
+  Mutex.protect fault_lock (fun () -> stop_faults := true);
+  Option.iter Thread.join fault_thread;
+  let restarts, health_kills = Shard_pool.counters shard_pool in
+  (* Graceful teardown: the router acknowledges nothing further, then
+     takes the whole pool down (SIGCONT+SIGTERM, bounded drain,
+     SIGKILL stragglers) — a leaked shard process would hang [wait],
+     which the CI step timeout converts into a failure. *)
+  Router.request_shutdown router;
+  Router.wait router;
+  {
+    report with
+    shard_kills = !kills;
+    shard_hangs = !hangs;
+    shard_restarts = restarts;
+    shard_health_kills = health_kills;
+  }
+
+let run config =
+  if config.shards >= 2 then run_sharded config else run_single config

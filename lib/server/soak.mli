@@ -29,10 +29,19 @@ type config = {
   cache_dir : string option;  (** disk store, needed for cache-corruption chaos *)
   crash_dir : string option;
   deadline_ms : float option;  (** attached to every 5th request *)
+  shards : int;
+      (** >= 2 soaks the sharded topology: that many forked shard server
+          processes (sharing [cache_dir]) under a {!Shard_pool}, a
+          {!Router} on [socket_path], and shard sockets at
+          [socket_path.<i>]; <= 1 is the single-process soak *)
+  shard_chaos : Chaos.config option;
+      (** seeded shard-fault schedule ({!Chaos.shard_faults}: SIGKILL /
+          SIGSTOP a random shard), paced while clients are in flight;
+          sharded runs only *)
   log : string -> unit;
 }
 
-(** 4 clients x 50 requests, 2 workers, no chaos, seed 0. *)
+(** 4 clients x 50 requests, 2 workers, no chaos, unsharded, seed 0. *)
 val default_config : socket_path:string -> config
 
 type report = {
@@ -46,11 +55,17 @@ type report = {
   p50_ms : float;
   p99_ms : float;
   throughput_rps : float;
+  shard_kills : int;  (** SIGKILLs delivered by shard chaos (0 unsharded) *)
+  shard_hangs : int;  (** SIGSTOPs delivered by shard chaos *)
+  shard_restarts : int;  (** pool restarts after shard deaths *)
+  shard_health_kills : int;  (** hung shards reaped by the health check *)
 }
 
 val passed : report -> bool
 val report_json : report -> Json.t
 val pp_report : report Fmt.t
 
-(** Start the server, run the soak, shut it down, join everything. *)
+(** Start the server (or, with [shards >= 2], the shard pool and
+    router), run the soak, shut everything down, join (and reap) every
+    thread and process. *)
 val run : config -> report

@@ -618,6 +618,363 @@ let soak_chaos_holds_invariants () =
   checkb "some requests succeeded" true (report.S.Soak.ok > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Liveness probe and EPIPE-safe writes *)
+
+let server_ping_op () =
+  with_server @@ fun socket _ ->
+  let r = rpc socket (Json.Obj [ ("id", Json.Int 5); ("op", Json.Str "ping") ]) in
+  checkb "ok" true (get_bool [ "ok" ] r = Some true);
+  checkb "pong" true (get_bool [ "pong" ] r = Some true);
+  checkb "id echoed" true (get_int [ "id" ] r = Some 5)
+
+let lineio_epipe_is_typed () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  let big = String.make (1 lsl 20) 'x' in
+  (* the kernel may buffer a write or two before the reset surfaces *)
+  let rec go n =
+    if n = 0 then Alcotest.fail "EPIPE never surfaced as a typed error"
+    else
+      match S.Lineio.write_line a big with
+      | Ok () -> go (n - 1)
+      | Error d ->
+        check Alcotest.string "peer-gone code" "DP-PROTO004"
+          d.Dp_diag.Diag.code
+  in
+  go 10;
+  Unix.close a
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process store safety *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* A real key and synthesis result to store under it. *)
+let store_fixture () =
+  let env =
+    Dp_expr.Env.empty
+    |> Dp_expr.Env.add_uniform "x" ~width:6
+    |> Dp_expr.Env.add_uniform "y" ~width:6
+  in
+  let expr = Dp_expr.Parse.expr "x*y + 3" in
+  let key = Dp_cache.Key.make Dp_flow.Strategy.Fa_aot env expr in
+  match Dp_cache.Serve.run (Dp_cache.Serve.request env expr) with
+  | Error d -> faild d
+  | Ok (o : Dp_cache.Serve.outcome) ->
+    let entry tag =
+      {
+        Dp_cache.Store.fingerprint = Dp_cache.Key.fingerprint key;
+        result = o.result;
+        verilog = String.make 20000 tag;
+      }
+    in
+    (key, entry)
+
+let store_concurrent_writers_leave_one_whole_entry () =
+  let dir = fresh_dir "store-xproc" in
+  let key, entry = store_fixture () in
+  let payload tag = String.make 20000 tag in
+  let writer tag =
+    match Unix.fork () with
+    | 0 ->
+      (* [_exit], never [exit]: Alcotest's at_exit must not run here *)
+      (try
+         let s = Dp_cache.Store.create ~capacity:4 ~dir () in
+         for _ = 1 to 25 do
+           Dp_cache.Store.add s key (entry tag)
+         done;
+         Unix._exit 0
+       with _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  let pa = writer 'A' in
+  let pb = writer 'B' in
+  (* a reader racing both writers sees the old entry, the new entry, or
+     nothing — never a torn one *)
+  let whole v = v = payload 'A' || v = payload 'B' in
+  for _ = 1 to 40 do
+    let s = Dp_cache.Store.create ~capacity:4 ~dir () in
+    (match Dp_cache.Store.find s key with
+    | None -> ()
+    | Some e ->
+      checkb "raced read is whole" true (whole e.Dp_cache.Store.verilog);
+      checki "raced read never counts corruption" 0
+        (Dp_cache.Store.stats s).Dp_cache.Store.corrupt);
+    Thread.delay 0.002
+  done;
+  let _, st_a = Unix.waitpid [] pa in
+  let _, st_b = Unix.waitpid [] pb in
+  checkb "writer A exited cleanly" true (st_a = Unix.WEXITED 0);
+  checkb "writer B exited cleanly" true (st_b = Unix.WEXITED 0);
+  (* exactly one whole, checksummed entry survives *)
+  let s = Dp_cache.Store.create ~capacity:4 ~dir () in
+  (match Dp_cache.Store.find s key with
+  | Some e -> checkb "final entry is one writer's payload, whole" true
+                (whole e.Dp_cache.Store.verilog)
+  | None -> Alcotest.fail "entry lost after concurrent writes");
+  checki "no corruption detected" 0
+    (Dp_cache.Store.stats s).Dp_cache.Store.corrupt;
+  let files = Sys.readdir dir |> Array.to_list in
+  checki "exactly one entry file" 1
+    (List.length (List.filter (fun f -> Filename.check_suffix f ".dpc") files));
+  checkb "no leaked temp files" true
+    (not (List.exists (fun f -> contains_sub f ".tmp.") files))
+
+let store_partial_write_degrades_to_miss () =
+  let dir = fresh_dir "store-torn" in
+  let key, entry = store_fixture () in
+  let s = Dp_cache.Store.create ~capacity:4 ~dir () in
+  Dp_cache.Store.add s key (entry 'A');
+  let dpc =
+    match
+      Sys.readdir dir |> Array.to_list
+      |> List.find_opt (fun f -> Filename.check_suffix f ".dpc")
+    with
+    | Some f -> Filename.concat dir f
+    | None -> Alcotest.fail "entry never reached disk"
+  in
+  (* simulate a torn write published without the rename discipline *)
+  let len = (Unix.stat dpc).Unix.st_size in
+  Unix.truncate dpc (len / 2);
+  let s2 = Dp_cache.Store.create ~capacity:4 ~dir () in
+  checkb "partial entry is a miss" true (Dp_cache.Store.find s2 key = None);
+  checkb "and is counted as corruption" true
+    ((Dp_cache.Store.stats s2).Dp_cache.Store.corrupt >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded serving: pool supervision, routing, failover *)
+
+module SP = S.Shard_pool
+module R = S.Router
+
+let quick_sup =
+  {
+    S.Supervisor.max_crashes = 30;
+    window_s = 5.0;
+    cooldown_s = 0.2;
+    backoff_base_s = 0.03;
+    backoff_max_s = 0.1;
+  }
+
+(* Each shard is a full forked server sharing one disk store. *)
+let shard_spawn ~cache_dir =
+  SP.Spawn_fork
+    (fun ~id:_ ~socket_path ->
+      let store = Dp_cache.Store.create ~capacity:32 ~dir:cache_dir () in
+      S.Server.run
+        {
+          (S.Server.default_config ~socket_path) with
+          S.Server.store = Some store;
+          workers = 1;
+          log = ignore;
+        })
+
+let with_pool ?(shards = 2) ?(sup = quick_sup) f =
+  let base = fresh_socket () in
+  let cache_dir = fresh_dir "pool-cache" in
+  let pool =
+    SP.start
+      {
+        (SP.default_config ~shards
+           ~socket_for:(fun i -> base ^ "." ^ string_of_int i)
+           ~spawn:(shard_spawn ~cache_dir))
+        with
+        SP.health_period_s = 0.05;
+        health_timeout_s = 0.4;
+        health_failures = 2;
+        startup_grace_s = 0.3;
+        stable_s = 0.2;
+        poll_period_s = 0.02;
+        grace_s = 3.0;
+        supervisor = sup;
+        log = ignore;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> SP.shutdown pool)
+    (fun () ->
+      checkb "pool came up" true (SP.wait_all_up ~timeout_s:20.0 pool);
+      f base pool)
+
+let with_sharded ?shards ?sup f =
+  with_pool ?shards ?sup @@ fun base pool ->
+  let rt =
+    R.start
+      {
+        (R.default_config ~socket_path:base ~pool) with
+        R.forward_timeout_s = 10.0;
+        log = ignore;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      R.request_shutdown rt;
+      R.wait rt)
+    (fun () -> f base pool rt)
+
+let wait_for ?(timeout_s = 15.0) ~msg pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then Alcotest.fail msg
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let home_params rt =
+  match
+    P.synth_params
+      ~vars:
+        [
+          P.var_spec "x" ~width:8;
+          P.var_spec "y" ~width:8;
+          P.var_spec "z" ~width:8;
+        ]
+      "x*y + z"
+  with
+  | Ok p -> R.home_of rt p
+  | Error d -> faild d
+
+let router_failover_and_rejoin () =
+  (* long backoff: a killed shard stays down long enough to observe the
+     failover window deterministically *)
+  let sup = { quick_sup with S.Supervisor.backoff_base_s = 0.5; backoff_max_s = 0.5 } in
+  with_sharded ~sup @@ fun base pool rt ->
+  let r1 = rpc base (synth_json ~id:1 ()) in
+  checkb "served via home shard" true (get_bool [ "ok" ] r1 = Some true);
+  let home = home_params rt in
+  checkb "killed the home shard" true (SP.signal_shard pool home Sys.sigkill);
+  (* during the backoff window the request must fail over, not fail *)
+  let r2 = rpc base (synth_json ~id:2 ()) in
+  checkb "served during downtime" true (get_bool [ "ok" ] r2 = Some true);
+  check Alcotest.string "failover answer byte-identical"
+    (Json.to_string (Option.get (get [ "result" ] r1)))
+    (Json.to_string (Option.get (get [ "result" ] r2)));
+  let failovers () =
+    Option.value ~default:0 (get_int [ "router"; "failovers" ] (R.stats_json rt))
+  in
+  checkb "failover counted" true (failovers () >= 1);
+  (* the shard restarts with backoff and rejoins routing *)
+  wait_for ~msg:"killed shard never restarted" (fun () ->
+      SP.is_up pool home && fst (SP.counters pool) >= 1);
+  wait_for ~msg:"restarted shard never answered" (fun () ->
+      match rpc_res base (synth_json ~id:3 ()) with
+      | Ok r -> get_bool [ "ok" ] r = Some true
+      | Error _ -> false);
+  let before = failovers () in
+  let r4 = rpc base (synth_json ~id:4 ()) in
+  checkb "served after rejoin" true (get_bool [ "ok" ] r4 = Some true);
+  checki "home shard serves again — no new failover" before (failovers ())
+
+let router_all_shards_down_is_typed () =
+  let sup =
+    { quick_sup with S.Supervisor.backoff_base_s = 2.0; backoff_max_s = 2.0 }
+  in
+  with_sharded ~sup @@ fun base pool _rt ->
+  ignore (SP.signal_shard pool 0 Sys.sigkill);
+  ignore (SP.signal_shard pool 1 Sys.sigkill);
+  (* give the monitor a beat to notice both deaths *)
+  Thread.delay 0.2;
+  let r = rpc base (synth_json ()) in
+  checkb "typed failure" true (get_bool [ "ok" ] r = Some false);
+  check Alcotest.string "retryable shard-down code" "DP-SRV-SHARD-DOWN"
+    (Option.get (get_str [ "error"; "code" ] r))
+
+let pool_health_kills_hung_shard () =
+  with_pool ~shards:1 @@ fun _base pool ->
+  (* age past the startup grace so failed probes score *)
+  Thread.delay 0.4;
+  checkb "stopped the shard" true (SP.signal_shard pool 0 Sys.sigstop);
+  (* waitpid cannot see a stopped child; only the ping timeout can — the
+     health check must SIGKILL it and the monitor must restart it *)
+  wait_for ~msg:"hung shard never health-killed" (fun () ->
+      snd (SP.counters pool) >= 1);
+  checkb "restarted after the health kill" true
+    (SP.wait_all_up ~timeout_s:20.0 pool)
+
+let router_aggregates_stats () =
+  with_sharded ~shards:3 @@ fun base _pool _rt ->
+  let exprs = [ "x*y + z"; "x + y"; "x - z"; "y*z + x"; "x*z"; "y + z" ] in
+  List.iteri
+    (fun i e ->
+      let r = rpc base (synth_json ~expr:e ~id:i ()) in
+      checkb "ok" true (get_bool [ "ok" ] r = Some true))
+    exprs;
+  let r = rpc base (Json.Obj [ ("id", Json.Int 99); ("op", Json.Str "stats") ]) in
+  checkb "ok" true (get_bool [ "ok" ] r = Some true);
+  (* worker counters summed across all three shards *)
+  checkb "served sums across shards" true
+    (get_int [ "stats"; "served" ] r = Some (List.length exprs));
+  checkb "every request routed by the front" true
+    (get_int [ "stats"; "router"; "routed" ] r = Some (List.length exprs));
+  checkb "no failovers on a healthy fleet" true
+    (get_int [ "stats"; "router"; "failovers" ] r = Some 0);
+  checkb "all shards reporting" true
+    (get_int [ "stats"; "router"; "shards_reporting" ] r = Some 3);
+  checkb "pool section present" true
+    (get_int [ "stats"; "shard_pool"; "shards" ] r = Some 3);
+  checkb "cache stores summed" true
+    (get_int [ "stats"; "cache"; "stores" ] r = Some (List.length exprs));
+  match Option.bind (get [ "stats"; "latency_ms" ] r) Json.to_list with
+  | Some buckets ->
+    let total =
+      List.fold_left
+        (fun acc b -> acc + Option.value (get_int [ "count" ] b) ~default:0)
+        0 buckets
+    in
+    checki "latency histograms merge positionally" (List.length exprs) total
+  | None -> Alcotest.fail "missing aggregated latency histogram"
+
+let soak_sharded_kill_chaos_holds_invariants () =
+  (* scale the run until the pacer has landed at least two shard kills —
+     wall-clock-paced chaos cannot promise a count for a fixed load *)
+  let rec attempt tries per_client =
+    let config =
+      {
+        (S.Soak.default_config ~socket_path:(fresh_socket ())) with
+        S.Soak.clients = 4;
+        requests_per_client = per_client;
+        seed = 11;
+        workers = 1;
+        shards = 3;
+        shard_chaos =
+          Some
+            {
+              S.Chaos.default_config with
+              seed = 11;
+              every = 1;
+              faults = S.Chaos.shard_faults;
+            };
+        cache_dir = Some (fresh_dir "soak-shard-cache");
+      }
+    in
+    let report = S.Soak.run config in
+    (* the safety invariants hold at any scale *)
+    checki "all requests accounted for" (4 * per_client)
+      report.S.Soak.requests;
+    checki "zero wrong answers" 0 report.S.Soak.wrong_answers;
+    checki "zero protocol violations" 0 report.S.Soak.violations;
+    checkb "soak passes" true (S.Soak.passed report);
+    checkb "some requests succeeded" true (report.S.Soak.ok > 0);
+    if report.S.Soak.shard_kills >= 2 then report
+    else if tries >= 3 then
+      Alcotest.failf "chaos landed %d kills after %d runs"
+        report.S.Soak.shard_kills tries
+    else attempt (tries + 1) (per_client * 2)
+  in
+  let report = attempt 1 40 in
+  checkb "kills were followed by restarts" true
+    (report.S.Soak.shard_restarts >= report.S.Soak.shard_kills - 1)
+
+(* ------------------------------------------------------------------ *)
 (* Reentrant wall-clock budgets *)
 
 let spin_until deadline_s =
@@ -734,6 +1091,22 @@ let suite =
       server_sigterm_graceful;
     case "soak: chaos run holds the safety invariants"
       soak_chaos_holds_invariants;
+    case "server: ping answers inline" server_ping_op;
+    case "lineio: EPIPE surfaces as DP-PROTO004" lineio_epipe_is_typed;
+    case "store: concurrent cross-process writers never tear an entry"
+      store_concurrent_writers_leave_one_whole_entry;
+    case "store: a partial disk write is a miss"
+      store_partial_write_degrades_to_miss;
+    case "shards: failover during downtime, restart, rejoin"
+      router_failover_and_rejoin;
+    case "shards: every shard down is a typed retryable error"
+      router_all_shards_down_is_typed;
+    case "shards: hung shard is health-killed and restarted"
+      pool_health_kills_hung_shard;
+    case "shards: router aggregates stats across the fleet"
+      router_aggregates_stats;
+    case "soak: sharded run with shard kills holds the invariants"
+      soak_sharded_kill_chaos_holds_invariants;
     case "budget: nested inner timeout fires alone" nested_inner_timeout_fires;
     case "budget: nested outer timeout wins" nested_outer_timeout_wins;
     case "budget: reusable after nesting" budget_reusable_after_nesting;
