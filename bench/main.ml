@@ -741,7 +741,21 @@ let speed_case_meta () =
      against the socket server), plain and with seeded chaos injection.
      The delta between the two is the latency/throughput tax of the
      resilience machinery actually firing. *)
-  let soak_case name ~chaos =
+  (* Crypto-scale reduction shapes: the matrix height / cell count of
+     the catalog's 256-bit modular-multiply cores, for the baseline. *)
+  let crypto_case name (d : Dp_designs.Design.t) =
+    let netlist = Dp_netlist.Netlist.create ~tech:Dp_tech.Tech.lcb_like in
+    let m = Dp_bitmatrix.Lower.lower netlist d.env d.expr ~width:d.width in
+    let height = Dp_bitmatrix.Matrix.height m in
+    Dp_core.Fa_aot.allocate netlist m;
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("matrix_height", Json.Int height);
+        ("cells", Json.Int (Dp_netlist.Netlist.cell_count netlist));
+      ]
+  in
+  let soak_case ?(crypto = false) ?(mem = false) name ~chaos =
     let fresh tag =
       let path = Filename.temp_file "dpsyn-bench" tag in
       Sys.remove path;
@@ -756,8 +770,19 @@ let speed_case_meta () =
           seed = 11;
           chaos =
             (if chaos then
-               Some { Dp_server.Chaos.default_config with seed = 11; every = 6 }
+               Some
+                 {
+                   Dp_server.Chaos.default_config with
+                   seed = 11;
+                   every = 6;
+                   faults =
+                     (if mem then
+                        Dp_server.Chaos.process_faults
+                        @ Dp_server.Chaos.mem_faults
+                      else Dp_server.Chaos.default_config.faults);
+                 }
              else None);
+          crypto_mix = crypto;
           cache_dir = Some (fresh ".cache");
           deadline_ms = Some 5000.0;
         }
@@ -834,8 +859,11 @@ let speed_case_meta () =
     mult_case "reduce/fa_aot_mult24" 24;
     sim_case "sim/idct_fa_aot";
     serve_case "serve/batch_4designs";
+    crypto_case "crypto/mulmod_diag256" Dp_designs.Crypto.mul_mod_diag;
+    crypto_case "crypto/mac_chain" Dp_designs.Crypto.mac_chain;
     soak_case "soak/plain" ~chaos:false;
     soak_case "soak/chaos" ~chaos:true;
+    soak_case "soak/crypto_mem_chaos" ~chaos:true ~crypto:true ~mem:true;
     sharded_soak_case "soak/sharded_plain" ~kill:false;
     sharded_soak_case "soak/sharded_kill" ~kill:true;
   ]
@@ -913,6 +941,24 @@ let bechamel_tests () =
         (Staged.stage (serve_batch `Cache_on));
       Test.make ~name:"serve/batch_cache_off"
         (Staged.stage (serve_batch `Cache_off));
+      (* Crypto-scale synthesis (a ~256-high addend matrix end to end)
+         vs a governed abort on the same request: the abort must cost
+         orders of magnitude less than the work it cancels. *)
+      Test.make ~name:"crypto/mulmod_diag_fa_aot"
+        (Staged.stage (fun () ->
+             ignore (run Strategy.Fa_aot Dp_designs.Crypto.mul_mod_diag)));
+      Test.make ~name:"crypto/montgomery_fa_alp"
+        (Staged.stage (fun () ->
+             ignore (run Strategy.Fa_alp Dp_designs.Crypto.montgomery_step)));
+      Test.make ~name:"crypto/governed_abort_mulmod"
+        (Staged.stage (fun () ->
+             let gov = Dp_gov.Gov.create ~deadline_s:0.0 () in
+             match
+               Dp_gov.Gov.with_ambient gov (fun () ->
+                   run Strategy.Fa_aot Dp_designs.Crypto.mul_mod_diag)
+             with
+             | _ -> ()
+             | exception Dp_diag.Diag.E _ -> ()));
     ]
 
 let speed () =

@@ -568,6 +568,18 @@ let fuzz_cmd =
     ival ~default:Dp_fuzz.Gen.default_config.multi_every "multi-every"
       "Every Nth case is a multi-output program (0: never)."
   in
+  let crypto_fuzz_arg =
+    Arg.(
+      value & flag
+      & info [ "crypto" ]
+          ~doc:
+            "Generate from the crypto envelope (Gen.crypto_config: \
+             limb-sized operands up to 48 bits, deep MAC chains, \
+             wNAF-style signed sums) and tighten the per-case budget \
+             (timeout and row ceiling clamped to 2 s / 1024 rows) so \
+             heavyweight cases prove graceful bounded aborts instead of \
+             dominating the run.")
+  in
   let corpus_arg =
     Arg.(
       value & opt (some string) None
@@ -583,7 +595,7 @@ let fuzz_cmd =
              exits non-zero if any entry regresses.")
   in
   let action seed cases max_size trials strategy adder timeout max_cells
-      max_rows inject_every multi_every corpus replay =
+      max_rows inject_every multi_every crypto corpus replay =
     match replay with
     | Some dir -> (
       match Dp_fuzz.Driver.replay_dir dir with
@@ -594,8 +606,21 @@ let fuzz_cmd =
           failures;
         exit 2)
     | None ->
-      let gen = { Dp_fuzz.Gen.default_config with max_size; multi_every } in
-      let budget = { Dp_fuzz.Budget.timeout_s = timeout; max_cells; max_rows } in
+      let base_gen =
+        if crypto then Dp_fuzz.Gen.crypto_config
+        else Dp_fuzz.Gen.default_config
+      in
+      let gen = { base_gen with max_size; multi_every } in
+      let budget =
+        if crypto then
+          {
+            Dp_fuzz.Budget.timeout_s =
+              (if timeout <= 0.0 then 2.0 else Float.min timeout 2.0);
+            max_cells;
+            max_rows = (if max_rows <= 0 then 1024 else min max_rows 1024);
+          }
+        else { Dp_fuzz.Budget.timeout_s = timeout; max_cells; max_rows }
+      in
       let oracle =
         {
           Dp_fuzz.Oracle.default_config with
@@ -648,7 +673,8 @@ let fuzz_cmd =
     Term.(
       const action $ seed_arg $ cases_arg $ max_size_arg $ trials_arg
       $ strategy_opt $ adder_opt $ timeout_arg $ max_cells_arg $ max_rows_arg
-      $ inject_every_arg $ multi_every_arg $ corpus_arg $ replay_arg)
+      $ inject_every_arg $ multi_every_arg $ crypto_fuzz_arg $ corpus_arg
+      $ replay_arg)
 
 let designs_cmd =
   let action () =
@@ -714,6 +740,26 @@ let serve_cmd =
       & opt int Dp_fuzz.Budget.default.max_cells
       & info [ "max-cells" ] ~docv:"N"
           ~doc:"Cell-count budget per synthesized netlist; 0 disables.")
+  in
+  let max_rows_arg =
+    Arg.(
+      value
+      & opt int Dp_fuzz.Budget.default.max_rows
+      & info [ "max-rows" ] ~docv:"N"
+          ~doc:
+            "Admission bound on the statically estimated addend-matrix \
+             height; a request over it is refused with DP-SRV-TOOBIG \
+             before it is queued.  0 disables.")
+  in
+  let mem_watermark_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-watermark-mb" ] ~docv:"MB"
+          ~doc:
+            "Heap watermark: above it, new requests are shed with \
+             DP-SRV-OVERLOAD and in-flight requests abort at their next \
+             checkpoint with DP-BUDGET-MEM.")
   in
   let cache_dir_arg =
     Arg.(
@@ -805,9 +851,13 @@ let serve_cmd =
       & info [ "tech" ] ~docv:"FILE"
           ~doc:"Technology file (key value lines); defaults inherit lcb_like.")
   in
-  let action socket shards workers queue_depth timeout max_cells cache_dir
-      capacity no_cache tech_file crash_dir max_crashes cooldown guard chaos
-      chaos_every chaos_seed =
+  let action socket shards workers queue_depth timeout max_cells max_rows
+      mem_watermark_mb cache_dir capacity no_cache tech_file crash_dir
+      max_crashes cooldown guard chaos chaos_every chaos_seed =
+    let mem_watermark_words =
+      Option.map (fun mb -> mb * 1024 * 1024 / (Sys.word_size / 8))
+        mem_watermark_mb
+    in
     let tech =
       match tech_file with
       | None -> Dp_tech.Tech.lcb_like
@@ -829,10 +879,14 @@ let serve_cmd =
              "--queue-depth"; string_of_int queue_depth;
              "--timeout"; string_of_float timeout;
              "--max-cells"; string_of_int max_cells;
+             "--max-rows"; string_of_int max_rows;
              "--cache-capacity"; string_of_int capacity;
              "--max-crashes"; string_of_int max_crashes;
              "--breaker-cooldown"; string_of_float cooldown;
            ]
+          @ (match mem_watermark_mb with
+            | Some mb -> [ "--mem-watermark-mb"; string_of_int mb ]
+            | None -> [])
           @ (match cache_dir with Some d -> [ "--cache-dir"; d ] | None -> [])
           @ (if no_cache then [ "--no-cache" ] else [])
           @ (match tech_file with Some f -> [ "--tech"; f ] | None -> [])
@@ -888,8 +942,8 @@ let serve_cmd =
           store;
           workers;
           queue_depth;
-          budget =
-            { Dp_fuzz.Budget.default with timeout_s = timeout; max_cells };
+          budget = { Dp_fuzz.Budget.timeout_s = timeout; max_cells; max_rows };
+          mem_watermark_words;
           tech;
           log;
           supervisor =
@@ -928,10 +982,10 @@ let serve_cmd =
           fault-tolerant multi-process topology behind a routing front")
     Term.(
       const action $ socket_arg $ shards_arg $ workers_arg $ queue_arg
-      $ timeout_arg $ max_cells_arg $ cache_dir_arg $ capacity_arg
-      $ no_cache_arg $ tech_file_arg $ crash_dir_arg $ max_crashes_arg
-      $ cooldown_arg $ guard_arg $ chaos_arg $ chaos_every_arg
-      $ chaos_seed_arg)
+      $ timeout_arg $ max_cells_arg $ max_rows_arg $ mem_watermark_arg
+      $ cache_dir_arg $ capacity_arg $ no_cache_arg $ tech_file_arg
+      $ crash_dir_arg $ max_crashes_arg $ cooldown_arg $ guard_arg
+      $ chaos_arg $ chaos_every_arg $ chaos_seed_arg)
 
 (* Shared retry flags for the client-side commands. *)
 let retries_arg =
@@ -1183,6 +1237,23 @@ let soak_cmd =
       & opt int Dp_server.Chaos.default_config.every
       & info [ "chaos-every" ] ~docv:"K" ~doc:"Inject on every Kth action.")
   in
+  let mem_chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "mem-chaos" ]
+          ~doc:
+            "Add the memory fault class (Mem_squeeze: run a request under \
+             a one-word heap watermark, which must surface as a typed \
+             DP-BUDGET-MEM) to the chaos schedule.  Implies --chaos.")
+  in
+  let crypto_arg =
+    Arg.(
+      value & flag
+      & info [ "crypto" ]
+          ~doc:
+            "Mix the crypto catalog's light designs (wide limbs, signed \
+             wNAF operands, large coefficients) into the request pool.")
+  in
   let cache_dir_arg =
     Arg.(
       value
@@ -1238,8 +1309,8 @@ let soak_cmd =
       & info [ "shard-chaos-every" ] ~docv:"K"
           ~doc:"Inject a shard fault on every Kth pacer tick.")
   in
-  let action socket clients requests seed workers chaos chaos_every cache_dir
-      crash_dir deadline_ms json_out quiet shards shard_chaos
+  let action socket clients requests seed workers chaos chaos_every mem_chaos
+      crypto cache_dir crash_dir deadline_ms json_out quiet shards shard_chaos
       shard_chaos_every =
     let config =
       {
@@ -1249,17 +1320,21 @@ let soak_cmd =
         seed;
         workers;
         chaos =
-          (if chaos then
+          (if chaos || mem_chaos then
              Some
                {
                  Dp_server.Chaos.default_config with
                  seed;
                  every = chaos_every;
+                 faults =
+                   (Dp_server.Chaos.process_faults
+                   @ if mem_chaos then Dp_server.Chaos.mem_faults else []);
                }
            else None);
         cache_dir;
         crash_dir;
         deadline_ms;
+        crypto_mix = crypto;
         shards;
         shard_chaos =
           (if shard_chaos then
@@ -1300,9 +1375,10 @@ let soak_cmd =
           answer")
     Term.(
       const action $ socket_arg $ clients_arg $ requests_arg $ seed_arg
-      $ workers_arg $ chaos_arg $ chaos_every_arg $ cache_dir_arg
-      $ crash_dir_arg $ deadline_arg $ json_out_arg $ quiet_arg $ shards_arg
-      $ shard_chaos_arg $ shard_chaos_every_arg)
+      $ workers_arg $ chaos_arg $ chaos_every_arg $ mem_chaos_arg
+      $ crypto_arg $ cache_dir_arg $ crash_dir_arg $ deadline_arg
+      $ json_out_arg $ quiet_arg $ shards_arg $ shard_chaos_arg
+      $ shard_chaos_every_arg)
 
 let () =
   let doc = "fine-grained arithmetic datapath synthesis (DAC 2000 reproduction)" in

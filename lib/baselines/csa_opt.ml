@@ -44,7 +44,11 @@ let allocate netlist ~width rows =
      authors' CSA_OPT [8]: while at least three operands remain, combine
      the three with the earliest ready times (a word-level Huffman greedy,
      the direct analogue of SC_T one level up). *)
+  let gov = Netlist.gov netlist in
   let rec go rows =
+    (match gov with
+    | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Reduce g
+    | None -> ());
     match rows with
     | [] -> Array.make width None, Array.make width None
     | [ r ] -> r, Array.make width None

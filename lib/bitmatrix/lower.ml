@@ -53,8 +53,18 @@ let lower ?(config = default_config) netlist env expr ~width =
   let inputs = declare_inputs netlist env expr in
   let bit v i = (List.assoc v inputs).(i) in
   let sop = Sop.of_expr expr in
+  (* Checkpoint of the SOP expansion itself: the tuple enumeration below
+     can visit exponentially many partial products before the first cell
+     exists, so cell-level polling alone would come too late. *)
+  let gov = Netlist.gov netlist in
+  let checkpoint () =
+    match gov with
+    | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Lower g
+    | None -> ()
+  in
   let table = ref Support_map.empty in
   let add_support supp m =
+    checkpoint ();
     if m <> 0 then
       table :=
         Support_map.update supp
@@ -127,6 +137,7 @@ let lower ?(config = default_config) netlist env expr ~width =
         in
         List.iter
           (fun (d : Csd.digit) ->
+            checkpoint ();
             if d.weight < width then
               let net = Netlist.and_n netlist supp in
               if d.sign > 0 then Matrix.add matrix ~weight:d.weight net

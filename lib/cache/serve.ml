@@ -57,6 +57,10 @@ let run ?store (r : request) =
       with
       | Error d -> Error d
       | Ok result ->
+        (* The governed build is complete: detach the captured governor
+           so the entry below (shared from the memory LRU and marshalled
+           to disk) cannot resurrect a stale one into later requests. *)
+        Dp_netlist.Netlist.detach_gov result.netlist;
         let verilog = Dp_netlist.Verilog.emit result.netlist in
         Option.iter
           (fun s ->

@@ -1,0 +1,4 @@
+(* Re-export: the governor lives in [Dp_gov] (below [dp_bitmatrix] in
+   the dependency order, so lowering can poll it too), but its public
+   home is [Dp_core.Gov] next to the allocation loops it bounds. *)
+include Dp_gov.Gov

@@ -10,8 +10,12 @@ let sweep netlist matrix ~reducer =
      processed, until every column holds at most two addends.  The matrix
      width can grow as carries spill leftwards (or stay capped when the
      matrix is modular). *)
+  let gov = Netlist.gov netlist in
   let j = ref 0 in
   while !j < Matrix.width matrix do
+    (match gov with
+    | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Reduce g
+    | None -> ());
     (match Matrix.column matrix !j with
     | _ :: _ :: _ :: _ as col ->
       let kept, carries = reducer netlist col in

@@ -46,9 +46,13 @@ let reduce_column ?(tie_break = Q_only) netlist addends =
     let pool =
       Pqueue.of_list ~cmp:(compare_nets netlist tie_break) ~dummy:(-1) even_pool
     in
+    let gov = Netlist.gov netlist in
     (* The pool size is even and >= 4, and each step removes two, so the
        step that leaves one heap element is always reached. *)
     let rec go carries =
+      (match gov with
+      | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Reduce g
+      | None -> ());
       let x = Pqueue.pop pool in
       let y = Pqueue.pop pool in
       let z = Pqueue.pop pool in

@@ -53,7 +53,11 @@ let reduce_column ?(tie_break = Arrival_only) ?(three_policy = Ha_finish)
   let pool =
     Pqueue.of_list ~cmp:(compare_nets netlist tie_break) ~dummy:(-1) addends
   in
+  let gov = Netlist.gov netlist in
   let rec go carries =
+    (match gov with
+    | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Reduce g
+    | None -> ());
     if Pqueue.length pool > 3 then begin
       let x = Pqueue.pop pool in
       let y = Pqueue.pop pool in

@@ -267,9 +267,16 @@ let table2 =
     (fun i design -> Design.with_random_probs ~seed:(0x20DAC + i) design)
     [ iir; kalman; idct; complex; serial_adapter ]
 
+(* The crypto-scale designs (256-bit modular-multiply shapes as 32-bit
+   limb decompositions) live in [Crypto]; they are name-addressable here
+   but deliberately kept out of [all], so `batch --designs` and the
+   existing smoke jobs keep their cost profile — crypto traffic is opt-in
+   via [crypto]/[Crypto.light]. *)
+let crypto = Crypto.all
+
 let all = table1 @ extended
 
 let find name =
   List.find_opt
     (fun (d : Design.t) -> String.lowercase_ascii d.name = String.lowercase_ascii name)
-    all
+    (all @ crypto)

@@ -30,5 +30,11 @@ val horner3 : Design.t
     dot product, MAC, Horner polynomial). *)
 val extended : Design.t list
 
+(** Crypto-scale designs (see {!Crypto}): 256-bit modular-multiply
+    shapes as 32-bit limb decompositions.  Kept out of {!all} so the
+    existing smoke workloads keep their cost profile; {!find} resolves
+    them by name. *)
+val crypto : Design.t list
+
 val all : Design.t list
 val find : string -> Design.t option

@@ -1,0 +1,131 @@
+(* Crypto-scale catalog (ROADMAP item 3): the arithmetic cores of
+   256-bit modular multiplication, expressed as 32-bit limb
+   decompositions so they fit the flow's 62-bit output words while
+   keeping the matrix shapes of the real thing — a weight-balanced
+   product diagonal reaches height ~256, the scale at which resource
+   governance (deadlines, cell budgets, memory watermarks) becomes
+   load-bearing rather than decorative.
+
+   Every design stays within the native-int evaluation model: output
+   widths are <= 62, and coefficient arithmetic that overflows 63-bit
+   ints wraps by a multiple of 2^63, which is 0 mod 2^width — so the
+   bit-level lowering and the expression oracle agree and equivalence
+   checking stays exact. *)
+
+open Dp_expr
+
+let parse = Parse.expr
+let limb = 32
+
+(* Lower limbs of an accumulator arrive earlier than higher ones, like a
+   carry-save state trickling in from the previous iteration. *)
+let limb_arrival k = Design.staggered ~base:(0.3 *. float_of_int k) ~slope:0.02 limb
+
+(* The central (weight-7) diagonal of the 8x8-limb schoolbook product of
+   two 256-bit operands: eight 32x32 partial products accumulated into
+   one word — a ~256-high, ~512-column-scale bit matrix, the single
+   heaviest reduction shape a 256-bit mul_mod performs. *)
+let mul_mod_diag =
+  let pairs = List.init 8 (fun i -> (Printf.sprintf "a%d" i, Printf.sprintf "b%d" (7 - i))) in
+  {
+    Design.name = "Crypto-MulModDiag256";
+    description =
+      "central diagonal of a 256-bit schoolbook multiply: a0*b7 + a1*b6 + \
+       ... + a7*b0, 32-bit limbs (matrix height ~256)";
+    expr =
+      parse
+        (String.concat " + " (List.map (fun (a, b) -> a ^ "*" ^ b) pairs));
+    env =
+      List.fold_left
+        (fun env (k, name) -> Env.add name ~width:limb ~arrival:(limb_arrival k) env)
+        Env.empty
+        (List.concat_map
+           (fun i -> [ (i, Printf.sprintf "a%d" i); (i, Printf.sprintf "b%d" i) ])
+           (List.init 8 Fun.id));
+    width = 62;
+  }
+
+(* One Montgomery reduction step against N = 2^32 + 977 (the secp256k1
+   field prime's tail): t + m*N with N split into limbs, so the
+   multiply-by-constant lowers through CSD recoding. *)
+let montgomery_step =
+  {
+    Design.name = "Crypto-MontgomeryStep";
+    description =
+      "Montgomery step t + m*N for N = 2^32 + 977: t0 + 977*m + \
+       4294967296*t1 + 4294967296*m, 32-bit limbs";
+    expr = parse "t0 + 977*m + 4294967296*t1 + 4294967296*m";
+    env =
+      Env.empty
+      |> Env.add "t0" ~width:limb ~arrival:(limb_arrival 0)
+      |> Env.add "t1" ~width:limb ~arrival:(limb_arrival 1)
+      |> Env.add "m" ~width:limb ~arrival:(limb_arrival 2);
+    width = 62;
+  }
+
+(* secp256k1-style folding of the high half of a product back into the
+   low word: hi * (2^32 + 977) joins lo0 + 2^32*lo1. *)
+let secp_fold =
+  {
+    Design.name = "Crypto-SecpFold";
+    description =
+      "reduction fold lo0 + 4294967296*lo1 + 4294968273*hi (hi folded by \
+       2^32 + 977), 32-bit limbs";
+    expr = parse "lo0 + 4294967296*lo1 + 4294968273*hi";
+    env =
+      Env.empty
+      |> Env.add "lo0" ~width:limb ~arrival:(limb_arrival 0)
+      |> Env.add "lo1" ~width:limb ~arrival:(limb_arrival 1)
+      |> Env.add "hi" ~width:limb ~arrival:(limb_arrival 3);
+    width = 62;
+  }
+
+(* wNAF scalar-multiplication accumulation: signed precomputed points
+   scaled by odd window digits — wide signed operands exercising the
+   Baugh-Wooley signed partial products at crypto width. *)
+let wnaf_chain =
+  {
+    Design.name = "Crypto-WnafChain";
+    description =
+      "wNAF accumulation 15*p0 - 9*p1 + 7*p2 - 5*p3 + 3*p4 - p5 over \
+       signed 32-bit points";
+    expr = parse "15*p0 - 9*p1 + 7*p2 - 5*p3 + 3*p4 - p5";
+    env =
+      List.fold_left
+        (fun env (k, name) ->
+          Env.add name ~width:limb ~signed:true ~arrival:(limb_arrival k) env)
+        Env.empty
+        (List.mapi (fun k n -> (k, n)) [ "p0"; "p1"; "p2"; "p3"; "p4"; "p5" ]);
+    width = 40;
+  }
+
+(* Deep multiply-accumulate chain: the per-round shape of a wide modular
+   multiply-accumulate (or an NTT butterfly column) with a late
+   accumulator — eight 28x28 products plus the accumulator word. *)
+let mac_chain =
+  let names = List.init 8 (fun i -> (Printf.sprintf "x%d" i, Printf.sprintf "y%d" i)) in
+  {
+    Design.name = "Crypto-MacChain";
+    description =
+      "deep MAC chain acc + x0*y0 + ... + x7*y7, 28-bit operands, \
+       late-arriving accumulator (matrix height ~224)";
+    expr =
+      parse
+        ("acc + "
+        ^ String.concat " + " (List.map (fun (x, y) -> x ^ "*" ^ y) names));
+    env =
+      List.fold_left
+        (fun env name -> Env.add name ~width:28 ~arrival:(Design.staggered ~slope:0.03 28) env)
+        (Env.add "acc" ~width:56
+           ~arrival:(Design.staggered ~base:1.5 ~slope:0.02 56)
+           Env.empty)
+        (List.concat_map (fun (x, y) -> [ x; y ]) names);
+    width = 60;
+  }
+
+let all = [ montgomery_step; secp_fold; wnaf_chain; mac_chain; mul_mod_diag ]
+
+(* The cheap members, for workloads that run many requests (soak mixes,
+   smoke batches) and only need crypto-shaped traffic, not the full
+   height-256 reduction every time. *)
+let light = [ montgomery_step; secp_fold; wnaf_chain ]

@@ -48,7 +48,22 @@ val clamp_deadline : t -> now:float -> deadline:float option -> t
     deadline, the single process timer is armed for the earliest one,
     and an expiring {e outer} budget unwinds through (and is not
     misattributed to) an inner budget still within its own allowance.
-    Safe for concurrent use from several threads (the synthesis server's
-    per-request budgets): a deadline is only ever converted into the
-    [DP-BUDGET001] failure of the [with_timeout] call that created it. *)
+    Thread-correct in the narrow sense that a deadline is only ever
+    converted into the [DP-BUDGET001] failure of the [with_timeout]
+    call that created it.
+
+    {b Scope.}  [ITIMER_REAL] is a {e process-wide} resource: there is
+    exactly one timer and one [SIGALRM] disposition per process, and the
+    kernel delivers the signal to a thread of its choosing — a foreign
+    thread's expiry is only flagged and re-armed until the owner happens
+    to run the handler, so under a multi-threaded worker pool an expiry
+    can land an unbounded number of re-arm hops late.  This machinery is
+    therefore the driver for the {e single-threaded} [dpsyn fuzz]
+    oracle, where one synthesis owns the whole process and a signal is
+    the only way to interrupt a loop that does not cooperate.  The
+    synthesis {e server} does not use it: each worker thread installs a
+    thread-ambient [Dp_gov.Gov] governor instead, which enforces the
+    same wall-clock/cell budgets (plus a heap watermark) at cooperative
+    checkpoints — per-thread, signal-free, and aborting only between
+    well-formed pipeline steps. *)
 val with_timeout : t -> (unit -> 'a) -> 'a

@@ -4,10 +4,23 @@ type config = {
   max_width : int;
   multi_every : int;
   allow_signed : bool;
+  crypto_every : int;
 }
 
 let default_config =
-  { max_size = 14; max_vars = 4; max_width = 8; multi_every = 7; allow_signed = true }
+  {
+    max_size = 14;
+    max_vars = 4;
+    max_width = 8;
+    multi_every = 7;
+    allow_signed = true;
+    (* 0 keeps the historic case stream byte-for-byte: seeded corpora and
+       the CI smoke schedule must not shift under a generator upgrade. *)
+    crypto_every = 0;
+  }
+
+let crypto_config =
+  { default_config with max_vars = 6; max_width = 48; crypto_every = 3 }
 
 (* ------------------------------------------------------------------ *)
 (* Saturating width estimate (upper bound on the natural width). *)
@@ -66,6 +79,23 @@ let gen_vars cfg rng =
         prob = gen_prob rng;
       })
 
+(* Crypto envelope: limb-sized operands (16-48 bits, the widths modular
+   reductions and MAC accumulators actually use) with a much stronger
+   signed bias — wNAF digit vectors are signed by construction. *)
+let crypto_width_pool = [ 16; 24; 28; 32; 32; 48 ]
+
+let gen_crypto_vars cfg rng =
+  let n = 2 + Random.State.int rng (max 1 (cfg.max_vars - 1)) in
+  List.init n (fun i ->
+      let name = Printf.sprintf "v%d" i in
+      {
+        Case.name;
+        width = min cfg.max_width (pick rng crypto_width_pool);
+        signed = cfg.allow_signed && Random.State.int rng 2 = 0;
+        arrival = gen_arrival rng;
+        prob = gen_prob rng;
+      })
+
 (* ------------------------------------------------------------------ *)
 (* Expressions *)
 
@@ -100,14 +130,54 @@ let rec gen_expr rng names size =
       chain (gen_leaf rng names) (min links (size - 1))
     | _ -> gen_leaf rng names
 
+(* Deep MAC chain — acc + x*y + x*y + ...: the crypto hazard of many
+   wide partial-product blocks reduced into a single accumulation. *)
+let gen_mac_chain rng names size =
+  let terms = 2 + Random.State.int rng (max 1 (size / 3)) in
+  let rec go acc k =
+    if k = 0 then acc
+    else
+      go
+        (Dp_expr.Ast.Add
+           (acc, Dp_expr.Ast.Mul (gen_leaf rng names, gen_leaf rng names)))
+        (k - 1)
+  in
+  go (gen_leaf rng names) terms
+
+(* wNAF-style chain — an alternating-sign sum of small-odd-coefficient
+   terms, the shape windowed scalar recoding lowers to. *)
+let wnaf_pool = [ 3; -3; 5; -5; 7; -7; 9; -9; 15; -15 ]
+
+let gen_wnaf_chain rng names size =
+  let terms = 2 + Random.State.int rng (max 1 (size / 2)) in
+  let term () =
+    Dp_expr.Ast.Mul
+      (Dp_expr.Ast.Const (pick rng wnaf_pool), Dp_expr.Ast.Var (pick rng names))
+  in
+  let rec go acc k =
+    if k = 0 then acc
+    else
+      go
+        (if Random.State.bool rng then Dp_expr.Ast.Add (acc, term ())
+         else Dp_expr.Ast.Sub (acc, term ()))
+        (k - 1)
+  in
+  go (term ()) terms
+
+let gen_crypto_expr rng names size =
+  match Random.State.int rng 4 with
+  | 0 | 1 -> gen_mac_chain rng names size
+  | 2 -> gen_wnaf_chain rng names size
+  | _ -> gen_expr rng names size
+
 (* Regenerate until the estimated natural width fits the flow's 62-bit
    ceiling; shrink the size budget on each failed attempt so termination
    does not depend on luck. *)
-let gen_fitting_expr rng (vars : Case.var_spec list) size =
+let gen_fitting rng gen (vars : Case.var_spec list) size =
   let names = List.map (fun (v : Case.var_spec) -> v.name) vars in
   let widths = List.map (fun (v : Case.var_spec) -> (v.name, v.width)) vars in
   let rec go size attempts =
-    let e = gen_expr rng names size in
+    let e = gen rng names size in
     if width_estimate widths e <= 60 then e
     else if attempts >= 8 then Dp_expr.Ast.Var (List.hd names)
     else go (max 2 (size * 2 / 3)) (attempts + 1)
@@ -122,12 +192,19 @@ let gen_port_width rng widths e =
   | _ -> est
 
 let case ?(config = default_config) rng i =
-  let vars = gen_vars config rng in
+  let crypto =
+    config.crypto_every > 0
+    && i mod config.crypto_every = config.crypto_every - 1
+  in
+  let vars =
+    if crypto then gen_crypto_vars config rng else gen_vars config rng
+  in
   let multi =
     config.multi_every > 0 && i mod config.multi_every = config.multi_every - 1
   in
   let port name size =
-    let e, widths = gen_fitting_expr rng vars size in
+    let gen = if crypto then gen_crypto_expr else gen_expr in
+    let e, widths = gen_fitting rng gen vars size in
     (name, e, gen_port_width rng widths e)
   in
   let case =

@@ -14,10 +14,23 @@ type config = {
   max_width : int;  (** per-variable width ceiling *)
   multi_every : int;  (** every Nth case is multi-output; 0 disables *)
   allow_signed : bool;
+  crypto_every : int;
+      (** every Nth case is drawn from the crypto envelope — limb-sized
+          (16-48 bit) operands with a strong signed bias, deep MAC
+          chains ([acc + x0*y0 + x1*y1 + ...]) and wNAF-style
+          alternating-sign odd-coefficient sums; 0 disables *)
 }
 
-(** size 14, 4 vars, width 8, multi every 7, signed on. *)
+(** size 14, 4 vars, width 8, multi every 7, signed on, no crypto cases
+    — byte-for-byte the historic case stream for any fixed seed. *)
 val default_config : config
+
+(** {!default_config} widened to the crypto envelope: 6 vars up to 48
+    bits, every 3rd case crypto-shaped.  Crypto cases are far heavier
+    than the default envelope's, so pair this with a {e tighter}
+    {!Budget.t} (lower [timeout_s]/[max_rows]) — the point is to prove
+    graceful bounded aborts at scale, not to synthesize every case. *)
+val crypto_config : config
 
 (** [case ~config rng i] generates the [i]-th case.  Expressions are
     regenerated until the estimated natural width fits the 62-bit flow

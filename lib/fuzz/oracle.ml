@@ -34,8 +34,12 @@ let pp_outcome ppf = function
     Fmt.pf ppf "FAIL under %a/%a: %a" Dp_flow.Strategy.pp f.strategy
       Dp_adders.Adder.pp f.adder Dp_diag.Diag.pp f.diag
 
+(* The bounded-abort family: the fuzz budget's own DP-BUDGET* codes plus
+   the cooperative governor's cancellations ([Dp_gov.Gov]) — a synthesis
+   cut short by a resource verdict is [Bounded], never a [Fail]. *)
 let is_budget_code code =
-  String.length code >= 9 && String.sub code 0 9 = "DP-BUDGET"
+  (String.length code >= 9 && String.sub code 0 9 = "DP-BUDGET")
+  || Dp_gov.Gov.is_cancel_code code
 
 (* ------------------------------------------------------------------ *)
 (* Assignments *)

@@ -1,0 +1,174 @@
+open Dp_diag
+
+type site = Lower | Reduce | Netlist | Sta | Prob | Sim
+
+let site_name = function
+  | Lower -> "lower"
+  | Reduce -> "reduce"
+  | Netlist -> "netlist"
+  | Sta -> "sta"
+  | Prob -> "prob"
+  | Sim -> "sim"
+
+let default_poll_every = 512
+
+type t = {
+  deadline : float option; (* absolute Unix time *)
+  max_cells : int option;
+  max_heap_words : int option;
+  poll_every : int;
+  fault : (site -> int -> bool) option;
+  (* Each governor belongs to one worker thread; [cancel] may write
+     [cancelled] from another thread.  The field holds an immediate-or-
+     pointer value, so unsynchronized reads are safe under the OCaml
+     memory model, and stickiness only needs the first write to win. *)
+  mutable cancelled : Diag.t option;
+  mutable countdown : int;
+  mutable polls : int;
+}
+
+let create ?deadline_s ?max_cells ?max_heap_words
+    ?(poll_every = default_poll_every) ?fault () =
+  let poll_every = max 1 poll_every in
+  {
+    deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+    max_cells;
+    max_heap_words;
+    poll_every;
+    fault;
+    cancelled = None;
+    countdown = poll_every;
+    polls = 0;
+  }
+
+let site_ctx site = ("site", match site with None -> "-" | Some s -> site_name s)
+
+let trip gov diag =
+  if gov.cancelled = None then gov.cancelled <- Some diag;
+  (* raise whatever won the race, so retries of [check] are stable *)
+  match gov.cancelled with Some d -> Diag.fail d | None -> Diag.fail diag
+
+let cancel ?(reason = "cancelled by caller") gov =
+  if gov.cancelled = None then
+    gov.cancelled <-
+      Some
+        (Diag.v ~code:"DP-CANCEL002" ~subsystem:"gov"
+           ~context:[ ("reason", reason) ]
+           "synthesis cancelled")
+
+let cancelled gov = gov.cancelled
+let polls gov = gov.polls
+
+let real_poll ?site ?cells gov =
+  gov.countdown <- gov.poll_every;
+  gov.polls <- gov.polls + 1;
+  (match gov.cancelled with Some d -> Diag.fail d | None -> ());
+  (match gov.fault with
+  | Some f when f (Option.value site ~default:Netlist) gov.polls ->
+    trip gov
+      (Diag.v ~code:"DP-CANCEL002" ~subsystem:"gov"
+         ~context:[ site_ctx site; ("reason", "injected fault") ]
+         "synthesis cancelled by injected fault")
+  | _ -> ());
+  (match (gov.deadline, site) with
+  | Some dl, _ ->
+    let now = Unix.gettimeofday () in
+    if now > dl then
+      trip gov
+        (Diag.errorf ~code:"DP-CANCEL001" ~subsystem:"gov"
+           ~context:
+             [
+               site_ctx site;
+               ("overrun_ms", Printf.sprintf "%.1f" (1000.0 *. (now -. dl)));
+               ("polls", string_of_int gov.polls);
+             ]
+           "synthesis deadline exceeded")
+  | None, _ -> ());
+  (match (gov.max_cells, cells) with
+  | Some budget, Some n when n > budget ->
+    trip gov
+      (Diag.errorf ~code:"DP-CANCEL003" ~subsystem:"gov"
+         ~context:
+           [
+             site_ctx site;
+             ("cells", string_of_int n);
+             ("max_cells", string_of_int budget);
+           ]
+         "cell budget exceeded mid-construction (%d > %d)" n budget)
+  | _ -> ());
+  match gov.max_heap_words with
+  | Some watermark ->
+    let live = (Gc.quick_stat ()).Gc.heap_words in
+    if live > watermark then
+      trip gov
+        (Diag.errorf ~code:"DP-BUDGET-MEM" ~subsystem:"gov"
+           ~context:
+             [
+               site_ctx site;
+               ("heap_words", string_of_int live);
+               ("max_heap_words", string_of_int watermark);
+             ]
+           "heap watermark exceeded (%d > %d words)" live watermark)
+  | None -> ()
+
+let check ?site ?cells gov =
+  gov.countdown <- gov.countdown - 1;
+  if gov.countdown <= 0 then real_poll ?site ?cells gov
+
+let poll_now ?site ?cells gov = real_poll ?site ?cells gov
+
+(* ------------------------------------------------------------------ *)
+(* Ambient per-thread installation.
+
+   [active] gates the fast path: when no governor is installed anywhere
+   in the process, [ambient ()] is one plain int read.  The table is
+   only touched under [lock]; keys are [Thread.id]s, so concurrent
+   server workers see only their own binding. *)
+
+let lock = Mutex.create ()
+let active = ref 0
+let table : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let ambient () =
+  if !active = 0 then None
+  else
+    let id = Thread.id (Thread.self ()) in
+    Mutex.protect lock (fun () -> Hashtbl.find_opt table id)
+
+let with_ambient gov f =
+  let id = Thread.id (Thread.self ()) in
+  let previous =
+    Mutex.protect lock (fun () ->
+        let previous = Hashtbl.find_opt table id in
+        Hashtbl.replace table id gov;
+        incr active;
+        previous)
+  in
+  let restore () =
+    Mutex.protect lock (fun () ->
+        (match previous with
+        | Some p -> Hashtbl.replace table id p
+        | None -> Hashtbl.remove table id);
+        decr active)
+  in
+  let result = try f () with e -> restore (); raise e in
+  restore ();
+  (* Surface an external cancel that landed after the last in-loop
+     checkpoint.  Only the sticky flag is consulted — a deadline that
+     expired in the final instants does not retract a completed result. *)
+  (match gov.cancelled with Some d -> Diag.fail d | None -> ());
+  result
+
+(* ------------------------------------------------------------------ *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_cancel_code c = has_prefix ~prefix:"DP-CANCEL" c || c = "DP-BUDGET-MEM"
+
+let retryable c =
+  match c with
+  | "DP-CANCEL001" | "DP-CANCEL002" | "DP-BUDGET-MEM" -> true
+  | _ -> false

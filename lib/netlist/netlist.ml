@@ -25,11 +25,19 @@ type t = {
   not_cache : (net, net) Hashtbl.t;
   and_cache : (net list, net) Hashtbl.t;
   or_cache : (net list, net) Hashtbl.t;
+  (* The ambient governor at creation time, if any.  [add_cell] is the
+     one chokepoint every construction path funnels through (lowering,
+     reduction, baselines, adders), so polling it here bounds every
+     builder without per-algorithm plumbing.  Mutable only so the serve
+     boundary can detach it: a netlist that outlives its request (cache
+     entry, marshalled copy) must not resurrect a stale governor. *)
+  mutable gov : Dp_gov.Gov.t option;
 }
 
 let create ~tech =
   {
     tech;
+    gov = Dp_gov.Gov.ambient ();
     drivers = Vec.create ~dummy:(From_const false);
     arrival = Vec.create ~dummy:0.0;
     prob = Vec.create ~dummy:0.0;
@@ -47,6 +55,8 @@ let create ~tech =
   }
 
 let tech t = t.tech
+let gov t = t.gov
+let detach_gov t = t.gov <- None
 let net_count t = Vec.length t.drivers
 let cell_count t = Vec.length t.cells
 let driver t n = Vec.get t.drivers n
@@ -106,6 +116,11 @@ let const_value t n =
    computed incrementally from the technology and the formulas of the
    paper's Secs. 3.1 and 4.2. *)
 let add_cell t kind inputs ~out_probs =
+  (* Checkpoint before publishing anything: an abort here leaves the
+     netlist exactly as it was after the previous complete cell. *)
+  (match t.gov with
+  | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Netlist ~cells:(Vec.length t.cells) g
+  | None -> ());
   let arity = Dp_tech.Cell_kind.arity kind in
   if Array.length inputs <> arity then
     invalid_arg "Netlist.add_cell: arity mismatch";

@@ -27,8 +27,23 @@ type driver =
 type cell = { kind : Dp_tech.Cell_kind.t; inputs : net array }
 type t
 
+(** Captures the calling thread's ambient {!Dp_gov.Gov} governor (if one
+    is installed): every subsequent cell construction polls it, so a
+    deadline, cell budget, or memory watermark aborts the build at a
+    cell boundary with the netlist still structurally sound. *)
 val create : tech:Dp_tech.Tech.t -> t
+
 val tech : t -> Dp_tech.Tech.t
+
+(** The governor captured at {!create}, for the analysis passes to poll
+    in their own loops. *)
+val gov : t -> Dp_gov.Gov.t option
+
+(** Drop the captured governor.  Call when the netlist outlives its
+    request — before caching or marshalling it — so a finished artifact
+    cannot resurrect a stale (expired or cancelled) governor into a
+    later request's analysis passes. *)
+val detach_gov : t -> unit
 val net_count : t -> int
 val cell_count : t -> int
 val driver : t -> net -> driver

@@ -45,7 +45,11 @@ let cell_output_prob (c : Netlist.cell) probs ~port =
 let probabilities netlist =
   let n = Netlist.net_count netlist in
   let probs = Array.make n 0.0 in
+  let gov = Netlist.gov netlist in
   for net = 0 to n - 1 do
+    (match gov with
+    | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Prob g
+    | None -> ());
     match Netlist.driver netlist net with
     | Netlist.From_input _ -> probs.(net) <- Netlist.prob netlist net
     | Netlist.From_const b -> probs.(net) <- (if b then 1.0 else 0.0)

@@ -4,14 +4,18 @@ type fault =
   | Truncate_response
   | Corrupt_cache
   | Corrupt_result
+  | Mem_squeeze
   | Kill_shard
   | Hang_shard
 
 let process_faults =
   [ Worker_panic; Slow_worker; Truncate_response; Corrupt_cache; Corrupt_result ]
 
+(* Opt-in, like the shard classes: adding a fault to [process_faults]
+   would shift every seeded schedule's [List.nth] picks. *)
+let mem_faults = [ Mem_squeeze ]
 let shard_faults = [ Kill_shard; Hang_shard ]
-let all = process_faults @ shard_faults
+let all = process_faults @ mem_faults @ shard_faults
 
 let fault_name = function
   | Worker_panic -> "worker_panic"
@@ -19,6 +23,7 @@ let fault_name = function
   | Truncate_response -> "truncate_response"
   | Corrupt_cache -> "corrupt_cache"
   | Corrupt_result -> "corrupt_result"
+  | Mem_squeeze -> "mem_squeeze"
   | Kill_shard -> "kill_shard"
   | Hang_shard -> "hang_shard"
 
@@ -51,7 +56,8 @@ let create config =
 let slow_s t = t.config.slow_s
 
 let site_faults = function
-  | `Worker -> [ Worker_panic; Slow_worker; Corrupt_cache; Corrupt_result ]
+  | `Worker ->
+    [ Worker_panic; Slow_worker; Corrupt_cache; Corrupt_result; Mem_squeeze ]
   | `Respond -> [ Truncate_response ]
   | `Shard -> shard_faults
 

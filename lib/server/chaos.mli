@@ -20,6 +20,13 @@
       response lint guard must catch it as [DP-SRV-CORRUPT] instead of
       emitting a wrong answer.  (The copy keeps the cache clean.)
 
+    Memory fault ([`Worker] site, opt-in — see {!default_config}):
+
+    - {!Mem_squeeze} — the request runs under a one-word heap watermark,
+      so its {!Dp_gov.Gov} governor must abort it at the first
+      cooperative checkpoint with [DP-BUDGET-MEM] — a typed, retryable
+      envelope, with the worker intact and no torn cache entry.
+
     Shard-topology faults ([`Shard] site, opt-in — see
     {!default_config}):
 
@@ -42,6 +49,7 @@ type fault =
   | Truncate_response
   | Corrupt_cache
   | Corrupt_result
+  | Mem_squeeze
   | Kill_shard
   | Hang_shard
 
@@ -49,6 +57,10 @@ val all : fault list
 
 (** The single-process fault classes — the default [faults] list. *)
 val process_faults : fault list
+
+(** {!Mem_squeeze}; opt-in ([faults = process_faults @ mem_faults]) so
+    existing seeded schedules keep their fault sequence. *)
+val mem_faults : fault list
 
 (** {!Kill_shard} and {!Hang_shard}; meaningful only at the [`Shard]
     site, which only a sharded topology ticks. *)

@@ -4,10 +4,16 @@
    Backpressure is structural: the queue blocks producers once
    [queue_depth] jobs are waiting, so a flood of batch requests slows the
    producing connections down instead of growing memory without bound.
-   Each job runs under the per-request wall-clock/cell-count budget
-   (tightened further by the request's own deadline); a blown budget is
-   an ordinary DP-BUDGET* error envelope, and the worker survives to
-   take the next job.
+   Upstream of the queue sits admission control: a request whose addend
+   matrix provably cannot fit the budget is refused at the door
+   (DP-SRV-TOOBIG), and a process over its memory watermark sheds new
+   work (DP-SRV-OVERLOAD) while in-flight jobs drain.
+
+   Each admitted job runs under a per-request [Dp_gov.Gov] governor
+   (deadline, cell budget, heap watermark — the deadline tightened
+   further by the request's own [deadline_ms]); a tripped limit is an
+   ordinary typed DP-CANCEL/DP-BUDGET error envelope, and the worker
+   survives to take the next job.
 
    Above the budget sits the supervision boundary: an exception that
    escapes a job (a genuine bug — [Synth.run_res] already converts
@@ -133,6 +139,7 @@ type config = {
   workers : int;
   queue_depth : int;
   budget : Dp_fuzz.Budget.t;
+  mem_watermark_words : int option;
   tech : Dp_tech.Tech.t;
   log : string -> unit;
   supervisor : Supervisor.policy;
@@ -149,6 +156,7 @@ let default_config ~socket_path =
     workers = 2;
     queue_depth = 64;
     budget = { Dp_fuzz.Budget.default with timeout_s = 30.0 };
+    mem_watermark_words = None;
     tech = Dp_tech.Tech.lcb_like;
     log = ignore;
     supervisor = Supervisor.default_policy;
@@ -191,6 +199,9 @@ type t = {
   mutable deadline_expired : int;  (** jobs failed fast in the queue *)
   mutable crash_dumps : int;  (** [.repro] files written *)
   mutable guard_rejects : int;  (** corrupted results caught by the guard *)
+  mutable cancelled : int;  (** governor aborts (DP-CANCEL*, DP-BUDGET-MEM) *)
+  mutable toobig_rejects : int;  (** admission: static row estimate too high *)
+  mutable mem_sheds : int;  (** admission: over the memory watermark *)
   latency : histogram;
 }
 
@@ -202,18 +213,42 @@ let locked t f = Mutex.protect t.state_lock f
 (* Request-level failures come back as [Error]; anything else that
    escapes is a genuine bug ([Synth.run_res] already converts expected
    exceptions) and belongs to the supervision boundary in
-   [worker_loop]. *)
-let execute t ~budget (p : Protocol.synth_params) =
+   [worker_loop].
+
+   The request runs under a per-thread ambient [Dp_gov.Gov] governor
+   rather than the process-wide ITIMER_REAL of [Budget.with_timeout]:
+   each worker enforces its own deadline/cell/memory limits without
+   sharing a timer (there is exactly one ITIMER_REAL per process — see
+   budget.mli), and a tripped limit lands at a cooperative checkpoint
+   between well-formed pipeline steps, so the cache never sees a torn
+   entry and the worker is reused, not restarted.  [squeeze] (the chaos
+   [Mem_squeeze] fault) runs the request under a one-word watermark so
+   the memory-abort path is exercised end to end. *)
+let execute t ~budget ?(squeeze = false) (p : Protocol.synth_params) =
   match Protocol.serve_request ~tech:t.config.tech p with
   | Error d -> Error d
   | Ok r -> (
+    let opt cond v = if cond then Some v else None in
+    let gov =
+      Dp_gov.Gov.create
+        ?deadline_s:(opt (budget.Dp_fuzz.Budget.timeout_s > 0.0) budget.timeout_s)
+        ?max_cells:(opt (budget.max_cells > 0) budget.max_cells)
+        ?max_heap_words:
+          (if squeeze then Some 1 else t.config.mem_watermark_words)
+        ()
+    in
     match
-      Dp_fuzz.Budget.with_timeout budget (fun () ->
+      Dp_gov.Gov.with_ambient gov (fun () ->
+          (* Entry poll: even a pure cache hit observes an
+             already-expired deadline or the squeezed watermark. *)
+          Dp_gov.Gov.poll_now gov;
           Dp_cache.Serve.run ?store:t.config.store r)
     with
     | Error d -> Error d
     | exception Diag.E d -> Error d
     | Ok o -> (
+      (* The governor's in-loop cell check only fires every [poll_every]
+         cells; this exact post-check also covers cached entries. *)
       match Dp_fuzz.Budget.check_cells budget o.result.netlist with
       | Ok () -> Ok o
       | Error d -> Error d))
@@ -241,15 +276,16 @@ let deliver_and_count t job r =
       observe t.latency ms;
       match r with
       | Ok _ -> t.served <- t.served + 1
-      | Error _ -> t.errors <- t.errors + 1);
+      | Error (d : Diag.t) ->
+        t.errors <- t.errors + 1;
+        if Dp_gov.Gov.is_cancel_code d.code then
+          t.cancelled <- t.cancelled + 1);
   job.deliver r
 
-(* A crash reproducer in the fuzzer's corpus format: the request's
-   variables (uniform attributes — element 0 stands for the bit-level
-   arrays), its expression at the resolved width, and the
-   strategy/adder pair, so [dpsyn replay] re-runs the exact job that
-   took the worker down. *)
-let crash_entry (p : Protocol.synth_params) exn_text =
+(* The request as a fuzz [Case] (uniform attributes — element 0 stands
+   for the bit-level arrays), at the resolved width.  Shared by the
+   admission precheck (row estimation) and the crash-dump writer. *)
+let case_of_params (p : Protocol.synth_params) =
   let attr a d = if Array.length a > 0 then a.(0) else d in
   let vars =
     List.map
@@ -267,11 +303,66 @@ let crash_entry (p : Protocol.synth_params) exn_text =
       | Error _ -> 8)
   in
   let width = min 62 (max 1 width) in
-  let case = Dp_fuzz.Case.single ~vars p.expr ~width in
+  Dp_fuzz.Case.single ~vars p.expr ~width
+
+(* A crash reproducer in the fuzzer's corpus format, so [dpsyn replay]
+   re-runs the exact job that took the worker down. *)
+let crash_entry (p : Protocol.synth_params) exn_text =
   Dp_fuzz.Corpus.entry ~strategy:p.strategy ~adder:p.adder
     ~diag_code:"DP-SRV-CRASH"
     ~comment:(Printf.sprintf "worker crash: %s" exn_text)
-    case
+    (case_of_params p)
+
+(* Admission control, upstream of the queue and the circuit breaker:
+   refuse work the server can already see it should not start.  The
+   static matrix-height estimate catches a request whose addend matrix
+   cannot fit the configured row budget — a permanent property of the
+   request (DP-SRV-TOOBIG, not retryable), cheaper to refuse at the
+   door than to enqueue, synthesize and abort mid-loop.  The heap
+   watermark sheds {e new} load while this process is over its memory
+   ceiling (DP-SRV-OVERLOAD, retryable on another shard or later);
+   already-admitted jobs keep running under their governors. *)
+let admit_request t (p : Protocol.synth_params) =
+  let b = t.config.budget in
+  let rows =
+    if b.Dp_fuzz.Budget.max_rows > 0 then
+      (* A malformed request (e.g. unbound variables) has no estimate;
+         admit it so the worker produces its typed DP-ENV/DP-PROTO error
+         rather than crashing the connection handler here. *)
+      try Dp_fuzz.Budget.estimate_rows (case_of_params p) with _ -> 0
+    else 0
+  in
+  if b.Dp_fuzz.Budget.max_rows > 0 && rows > b.max_rows then begin
+    locked t (fun () -> t.toobig_rejects <- t.toobig_rejects + 1);
+    Error
+      (Diag.v ~code:"DP-SRV-TOOBIG" ~subsystem:"server"
+         ~context:
+           [
+             ("estimated_rows", string_of_int rows);
+             ("max_rows", string_of_int b.max_rows);
+           ]
+         "request rejected at admission: estimated addend-matrix height \
+          exceeds this server's row budget")
+  end
+  else
+    match t.config.mem_watermark_words with
+    | Some watermark ->
+      let heap = (Gc.quick_stat ()).Gc.heap_words in
+      if heap > watermark then begin
+        locked t (fun () -> t.mem_sheds <- t.mem_sheds + 1);
+        Error
+          (Diag.v ~code:"DP-SRV-OVERLOAD" ~subsystem:"server"
+             ~context:
+               [
+                 ("reason", "memory");
+                 ("heap_words", string_of_int heap);
+                 ("max_heap_words", string_of_int watermark);
+               ]
+             "over the memory watermark; shedding new work while in-flight \
+              jobs drain")
+      end
+      else Ok ()
+    | None -> Ok ()
 
 let handle_crash t job exn =
   let exn_text = Printexc.to_string exn in
@@ -319,6 +410,7 @@ let process t job =
     Supervisor.record_success t.supervisor ~trial:job.trial
   | _ ->
     let corrupt_result = ref false in
+    let squeeze = ref false in
     (match t.chaos with
     | None -> ()
     | Some c -> (
@@ -329,13 +421,14 @@ let process t job =
       | Some Chaos.Corrupt_cache ->
         Option.iter (Chaos.corrupt_cache_entry c) t.config.store
       | Some Chaos.Corrupt_result -> corrupt_result := true
+      | Some Chaos.Mem_squeeze -> squeeze := true
       (* response- and shard-level faults are other sites' business *)
       | Some (Chaos.Truncate_response | Chaos.Kill_shard | Chaos.Hang_shard) ->
         ()));
     let budget =
       Dp_fuzz.Budget.clamp_deadline t.config.budget ~now ~deadline:job.deadline
     in
-    let r = execute t ~budget job.params in
+    let r = execute t ~budget ~squeeze:!squeeze job.params in
     let r =
       match (r, !corrupt_result, t.chaos) with
       | Ok o, true, Some c -> (
@@ -408,16 +501,19 @@ let run_jobs t params_list =
   in
   List.iter
     (fun job ->
-      match Supervisor.admit t.supervisor with
+      match admit_request t job.params with
       | Error d -> job.deliver (Error d)
-      | Ok trial -> (
-        job.trial <- trial;
-        try Bqueue.push t.queue job
-        with Bqueue.Closed ->
-          job.deliver
-            (Error
-               (Diag.v ~code:"DP-SRV-SHUTDOWN" ~subsystem:"server"
-                  "server is shutting down"))))
+      | Ok () -> (
+        match Supervisor.admit t.supervisor with
+        | Error d -> job.deliver (Error d)
+        | Ok trial -> (
+          job.trial <- trial;
+          try Bqueue.push t.queue job
+          with Bqueue.Closed ->
+            job.deliver
+              (Error
+                 (Diag.v ~code:"DP-SRV-SHUTDOWN" ~subsystem:"server"
+                    "server is shutting down")))))
     jobs;
   Mutex.protect m (fun () ->
       while !remaining > 0 do
@@ -441,6 +537,7 @@ let stats_json t =
         deadline_expired,
         crash_dumps,
         guard_rejects,
+        (cancelled, toobig_rejects, mem_sheds),
         latency ) =
     locked t (fun () ->
         ( t.served,
@@ -449,6 +546,7 @@ let stats_json t =
           t.deadline_expired,
           t.crash_dumps,
           t.guard_rejects,
+          (t.cancelled, t.toobig_rejects, t.mem_sheds),
           histogram_json t.latency ))
   in
   let cache =
@@ -487,6 +585,18 @@ let stats_json t =
     | Some c ->
       Json.Obj (List.map (fun (n, k) -> (n, Json.Int k)) (Chaos.injected c))
   in
+  let governance =
+    Json.Obj
+      [
+        ("cancelled", Json.Int cancelled);
+        ("toobig_rejects", Json.Int toobig_rejects);
+        ("mem_sheds", Json.Int mem_sheds);
+        ( "mem_watermark_words",
+          match t.config.mem_watermark_words with
+          | Some w -> Json.Int w
+          | None -> Json.Null );
+      ]
+  in
   Json.Obj
     [
       ("served", Json.Int served);
@@ -496,6 +606,7 @@ let stats_json t =
       ("queue_depth", Json.Int t.config.queue_depth);
       ("cache", cache);
       ("supervisor", supervisor);
+      ("governance", governance);
       ("chaos", chaos);
       ("latency_ms", latency);
     ]
@@ -674,6 +785,9 @@ let start config =
       deadline_expired = 0;
       crash_dumps = 0;
       guard_rejects = 0;
+      cancelled = 0;
+      toobig_rejects = 0;
+      mem_sheds = 0;
       latency = histogram ();
     }
   in
@@ -732,15 +846,22 @@ let wait t =
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   (* The drain is complete: flush the final service counters and the
      latency histogram through the log (stderr for [dpsyn serve]). *)
-  let served, errors, deadline_expired =
-    locked t (fun () -> (t.served, t.errors, t.deadline_expired))
+  let served, errors, deadline_expired, cancelled, toobig, sheds =
+    locked t (fun () ->
+        ( t.served,
+          t.errors,
+          t.deadline_expired,
+          t.cancelled,
+          t.toobig_rejects,
+          t.mem_sheds ))
   in
   let crashes, restarts, rejected = Supervisor.counters t.supervisor in
   t.config.log
     (Printf.sprintf
-       "drained: served=%d errors=%d deadline_expired=%d crashes=%d \
-        restarts=%d rejected=%d"
-       served errors deadline_expired crashes restarts rejected);
+       "drained: served=%d errors=%d deadline_expired=%d cancelled=%d \
+        toobig=%d mem_sheds=%d crashes=%d restarts=%d rejected=%d"
+       served errors deadline_expired cancelled toobig sheds crashes restarts
+       rejected);
   t.config.log (histogram_summary t.latency)
 
 let run config =

@@ -2,12 +2,25 @@
     line-delimited JSON protocol of {!Protocol}, with a worker pool fed
     through a {e bounded} queue (producers block once [queue_depth] jobs
     are waiting — backpressure instead of unbounded memory), a shared
-    {!Dp_cache.Store}, and a per-request wall-clock/cell-count budget
-    from {!Dp_fuzz.Budget}.  Every failure — malformed request, blown
-    budget, synthesis error — is an error envelope carrying the typed
+    {!Dp_cache.Store}, and a per-request {!Dp_gov.Gov} governor carrying
+    the wall-clock/cell/memory limits of {!Dp_fuzz.Budget} and
+    [mem_watermark_words].  Every failure — malformed request, tripped
+    limit, synthesis error — is an error envelope carrying the typed
     diagnostic; the connection and the worker both survive.
 
     Resilience layer (see [doc/protocol.md], "Failure semantics"):
+
+    - Admission control runs upstream of the queue: a request whose
+      statically estimated addend-matrix height exceeds the budget's
+      [max_rows] is refused with [DP-SRV-TOOBIG] (a property of the
+      request — do not retry it here), and once the process heap is
+      over [mem_watermark_words] new work is shed with
+      [DP-SRV-OVERLOAD] ([("reason", "memory")]; retry another shard
+      or later) while admitted jobs drain.
+    - Admitted jobs run under a thread-ambient governor: a deadline,
+      cell budget, or heap watermark that trips mid-synthesis aborts at
+      the next cooperative checkpoint as [DP-CANCEL*]/[DP-BUDGET-MEM],
+      with no torn cache entry and the worker reused, not restarted.
 
     - Workers run under a {!Supervisor} boundary: an exception escaping
       a job is delivered as [DP-SRV-CRASH] (with a [.repro] crash dump
@@ -33,6 +46,11 @@ type config = {
   workers : int;
   queue_depth : int;
   budget : Dp_fuzz.Budget.t;  (** applied to every request *)
+  mem_watermark_words : int option;
+      (** live-heap watermark ([Gc.quick_stat] words): above it, new
+          requests are shed at admission with [DP-SRV-OVERLOAD] and
+          in-flight requests abort at their next checkpoint with
+          [DP-BUDGET-MEM]; [None] disables *)
   tech : Dp_tech.Tech.t;
   log : string -> unit;
   supervisor : Supervisor.policy;
@@ -46,8 +64,8 @@ type config = {
 }
 
 (** In-memory cache, 2 workers, queue depth 64, 30 s/200k-cell budget,
-    default supervision policy, no crash dir, no chaos, no guard, no
-    signal handling. *)
+    no memory watermark, default supervision policy, no crash dir, no
+    chaos, no guard, no signal handling. *)
 val default_config : socket_path:string -> config
 
 type t

@@ -10,6 +10,7 @@ type config = {
   cache_dir : string option;
   crash_dir : string option;
   deadline_ms : float option;
+  crypto_mix : bool;
   shards : int;
   shard_chaos : Chaos.config option;
   log : string -> unit;
@@ -26,6 +27,7 @@ let default_config ~socket_path =
     cache_dir = None;
     crash_dir = None;
     deadline_ms = None;
+    crypto_mix = false;
     shards = 0;
     shard_chaos = None;
     log = ignore;
@@ -112,27 +114,53 @@ type pooled = {
 
 let tech = Dp_tech.Tech.lcb_like
 
-let build_pool () =
+let pooled_of_params params =
+  let expected =
+    match Protocol.serve_request ~tech params with
+    | Error d -> Diag.fail d
+    | Ok r -> (
+      match Dp_cache.Serve.run r with
+      | Error d -> Diag.fail d
+      | Ok o -> Json.to_string (Protocol.result_record params o))
+  in
+  { params; expected }
+
+(* The crypto catalog's light designs as wire requests: wide limbs,
+   signed wNAF operands, large constant coefficients — the crypto-scale
+   end of the workload, with expected records precomputed the same way
+   as the base pool's. *)
+let crypto_params () =
   List.map
-    (fun (expr_text, vars) ->
+    (fun (d : Dp_designs.Design.t) ->
       let vars =
-        List.map (fun (n, w) -> Protocol.var_spec n ~width:w) vars
+        List.map
+          (fun (name, (vi : Dp_expr.Env.var_info)) ->
+            Protocol.var_spec ~arrival:vi.arrival ~prob:vi.prob
+              ~signed:vi.signed name ~width:vi.width)
+          (Dp_expr.Env.bindings d.env)
       in
-      let params =
+      match
+        Protocol.synth_params ~vars ~width:(Some d.width)
+          (Dp_expr.Ast.to_string d.expr)
+      with
+      | Ok p -> p
+      | Error d -> Diag.fail d)
+    Dp_designs.Crypto.light
+
+let build_pool ?(crypto = false) () =
+  let base =
+    List.map
+      (fun (expr_text, vars) ->
+        let vars =
+          List.map (fun (n, w) -> Protocol.var_spec n ~width:w) vars
+        in
         match Protocol.synth_params ~vars expr_text with
-        | Ok p -> p
-        | Error d -> Diag.fail d
-      in
-      let expected =
-        match Protocol.serve_request ~tech params with
-        | Error d -> Diag.fail d
-        | Ok r -> (
-          match Dp_cache.Serve.run r with
-          | Error d -> Diag.fail d
-          | Ok o -> Json.to_string (Protocol.result_record params o))
-      in
-      { params; expected })
-    pool_specs
+        | Ok p -> pooled_of_params p
+        | Error d -> Diag.fail d)
+      pool_specs
+  in
+  if crypto then base @ List.map pooled_of_params (crypto_params ())
+  else base
 
 (* ------------------------------------------------------------------ *)
 
@@ -288,7 +316,7 @@ let drive config pool tally =
   }
 
 let run_single config =
-  let pool = build_pool () in
+  let pool = build_pool ~crypto:config.crypto_mix () in
   let store =
     Some (Dp_cache.Store.create ~capacity:64 ?dir:config.cache_dir ())
   in
@@ -318,7 +346,7 @@ let run_single config =
    flight. *)
 
 let run_sharded config =
-  let pool = build_pool () in
+  let pool = build_pool ~crypto:config.crypto_mix () in
   let spawn =
     Shard_pool.Spawn_fork
       (fun ~id:_ ~socket_path ->

@@ -29,6 +29,11 @@ type config = {
   cache_dir : string option;  (** disk store, needed for cache-corruption chaos *)
   crash_dir : string option;
   deadline_ms : float option;  (** attached to every 5th request *)
+  crypto_mix : bool;
+      (** add the {!Dp_designs.Crypto.light} catalog (wide limbs, signed
+          wNAF operands, large coefficients) to the request pool, so the
+          soak exercises crypto-scale requests — heavier per request
+          than the base pool by design *)
   shards : int;
       (** >= 2 soaks the sharded topology: that many forked shard server
           processes (sharing [cache_dir]) under a {!Shard_pool}, a

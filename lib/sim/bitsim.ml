@@ -54,9 +54,13 @@ let cell_outputs (c : Netlist.cell) (values : int64 array) =
 let run netlist ~assign =
   let n = Netlist.net_count netlist in
   let values = Array.make n 0L in
+  let gov = Netlist.gov netlist in
   (* Net ids are topologically ordered (see [Simulator.run]); one forward
      pass evaluates all 64 lanes of every net. *)
   for net = 0 to n - 1 do
+    (match gov with
+    | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Sim g
+    | None -> ());
     match Netlist.driver netlist net with
     | Netlist.From_input { var; bit } -> values.(net) <- assign var bit
     | Netlist.From_const b ->

@@ -33,8 +33,24 @@ let check_assignment ?(signed = no_signed) netlist expr ~output ~width alist =
 let input_widths netlist =
   List.map (fun (name, nets) -> name, Array.length nets) (Netlist.inputs netlist)
 
+(* [Random.State.int] only accepts bounds below 2^30, so wide (crypto-
+   limb) operands stitch several 24-bit draws; widths below 30 keep the
+   single-draw path so existing seeds reproduce their historic vector
+   streams. *)
+let rand_bits rng w =
+  if w < 30 then Random.State.int rng (1 lsl w)
+  else begin
+    let acc = ref 0 and got = ref 0 in
+    while !got < w do
+      let take = min 24 (w - !got) in
+      acc := !acc lor (Random.State.int rng (1 lsl take) lsl !got);
+      got := !got + take
+    done;
+    !acc
+  end
+
 let random_assignment rng widths =
-  List.map (fun (name, w) -> name, Random.State.int rng (1 lsl w)) widths
+  List.map (fun (name, w) -> name, rand_bits rng w) widths
 
 (* Batched differential core: simulate up to 64 assignments per netlist
    sweep via [Bitsim], then compare each lane (in order, so the reported
@@ -43,7 +59,11 @@ let random_assignment rng widths =
 let check_batched ?(signed = no_signed) netlist expr ~output ~width ~total next =
   let widths = input_widths netlist in
   let out_nets = Netlist.find_output netlist output in
+  let gov = Netlist.gov netlist in
   let rec block start =
+    (match gov with
+    | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Sim g
+    | None -> ());
     if start >= total then Ok ()
     else begin
       let lanes = min 64 (total - start) in

@@ -4,8 +4,12 @@ let arrivals netlist =
   let tech = Netlist.tech netlist in
   let n = Netlist.net_count netlist in
   let arrival = Array.make n neg_infinity in
+  let gov = Netlist.gov netlist in
   (* Net ids are topologically ordered, so one forward pass suffices. *)
   for net = 0 to n - 1 do
+    (match gov with
+    | Some g -> Dp_gov.Gov.check ~site:Dp_gov.Gov.Sta g
+    | None -> ());
     match Netlist.driver netlist net with
     | Netlist.From_input _ | Netlist.From_const _ ->
       arrival.(net) <- Netlist.arrival netlist net

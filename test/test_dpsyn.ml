@@ -25,5 +25,6 @@ let () =
       ("perf", Test_perf.suite);
       ("properties2", Test_props2.suite);
       ("cache", Test_cache.suite);
+      ("gov", Test_gov.suite);
       ("server", Test_server.suite);
     ]

@@ -1063,6 +1063,86 @@ let concurrent_budgets_are_independent () =
   check Alcotest.string "short thread timed out" "DP-BUDGET001" !short_code;
   checki "long thread unaffected" 99 !long_result
 
+(* ------------------------------------------------------------------ *)
+(* Resource governance: admission control and the per-request governor *)
+
+let server_admission_rejects_oversized () =
+  let configure c =
+    { c with S.Server.budget = { Fz.Budget.unlimited with max_rows = 4 } }
+  in
+  with_server ~configure @@ fun socket _ ->
+  (* x*y alone lowers to an addend matrix taller than 4 rows: refused at
+     the door, before a worker is occupied *)
+  let r = rpc socket (synth_json ~expr:"x*y + z" ()) in
+  checkb "rejected" true (get_bool [ "ok" ] r = Some false);
+  check Alcotest.string "code" "DP-SRV-TOOBIG"
+    (Option.get (get_str [ "error"; "code" ] r));
+  (* a short sum fits the same row budget: the server keeps serving *)
+  let ok =
+    rpc socket
+      (Json.Obj
+         [
+           ("id", Json.Int 2);
+           ("op", Json.Str "synth");
+           ("expr", Json.Str "x + 1");
+           ( "vars",
+             Json.List [ Json.Obj [ ("name", Json.Str "x"); ("width", Json.Int 2) ] ] );
+         ])
+  in
+  checkb "small request admitted" true (get_bool [ "ok" ] ok = Some true);
+  let st = rpc socket (Json.Obj [ ("id", Json.Int 3); ("op", Json.Str "stats") ]) in
+  checki "toobig counted" 1
+    (Option.value
+       (get_int [ "stats"; "governance"; "toobig_rejects" ] st)
+       ~default:(-1))
+
+let server_memory_watermark_sheds () =
+  (* A one-word watermark is always exceeded: every new request is shed
+     with the typed overload envelope instead of deepening the pressure *)
+  let configure c = { c with S.Server.mem_watermark_words = Some 1 } in
+  with_server ~configure @@ fun socket _ ->
+  let r = rpc socket (synth_json ()) in
+  checkb "shed" true (get_bool [ "ok" ] r = Some false);
+  check Alcotest.string "code" "DP-SRV-OVERLOAD"
+    (Option.get (get_str [ "error"; "code" ] r));
+  check Alcotest.string "reason" "memory"
+    (Option.value (get_str [ "error"; "context"; "reason" ] r) ~default:"?");
+  let st = rpc socket (Json.Obj [ ("id", Json.Int 2); ("op", Json.Str "stats") ]) in
+  checkb "shed counted" true
+    (match get_int [ "stats"; "governance"; "mem_sheds" ] st with
+    | Some n -> n >= 1
+    | None -> false)
+
+let server_mem_squeeze_aborts_and_recovers () =
+  (* Ticks: each request is one worker tick and one respond tick, so
+     [every = 3] with only [Mem_squeeze] configured fires on the 2nd
+     request's worker tick (squeezing that job under a one-word
+     watermark) and on the 3rd request's respond tick, where the class
+     is not applicable — a fully deterministic schedule. *)
+  let configure c =
+    { c with S.Server.chaos = Some (chaos_only ~every:3 S.Chaos.Mem_squeeze) }
+  in
+  with_server ~configure @@ fun socket _ ->
+  let r1 = rpc socket (synth_json ()) in
+  checkb "first request serves" true (get_bool [ "ok" ] r1 = Some true);
+  let r2 = rpc socket (synth_json ~id:2 ()) in
+  checkb "squeezed request fails typed" true (get_bool [ "ok" ] r2 = Some false);
+  check Alcotest.string "code" "DP-BUDGET-MEM"
+    (Option.get (get_str [ "error"; "code" ] r2));
+  (* the worker survived the abort and the cache entry is whole: the
+     same request now serves from cache, byte-identical *)
+  let r3 = rpc socket (synth_json ~id:3 ()) in
+  checkb "worker reused" true (get_bool [ "ok" ] r3 = Some true);
+  checkb "cached" true (get_bool [ "cached" ] r3 = Some true);
+  check Alcotest.string "byte-identical after abort"
+    (Json.to_string (Option.get (get [ "result" ] r1)))
+    (Json.to_string (Option.get (get [ "result" ] r3)));
+  let st = rpc socket (Json.Obj [ ("id", Json.Int 4); ("op", Json.Str "stats") ]) in
+  checki "cancellation counted" 1
+    (Option.value (get_int [ "stats"; "governance"; "cancelled" ] st) ~default:(-1));
+  checki "no worker crash" 0
+    (Option.value (get_int [ "stats"; "supervisor"; "crashes" ] st) ~default:(-1))
+
 let suite =
   [
     case "json: printer/parser round-trips" json_round_trips;
@@ -1108,6 +1188,12 @@ let suite =
     case "soak: sharded run with shard kills holds the invariants"
       soak_sharded_kill_chaos_holds_invariants;
     case "budget: nested inner timeout fires alone" nested_inner_timeout_fires;
+    case "server: admission rejects oversized requests"
+      server_admission_rejects_oversized;
+    case "server: memory watermark sheds new work"
+      server_memory_watermark_sheds;
+    case "server: mem-squeeze chaos aborts typed, worker recovers"
+      server_mem_squeeze_aborts_and_recovers;
     case "budget: nested outer timeout wins" nested_outer_timeout_wins;
     case "budget: reusable after nesting" budget_reusable_after_nesting;
     case "budget: concurrent budgets independent" concurrent_budgets_are_independent;
