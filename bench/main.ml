@@ -24,6 +24,32 @@ let verified ?adder ?lower_config strategy (d : Dp_designs.Design.t) =
       (Strategy.name strategy) Dp_sim.Equiv.pp_mismatch m);
   r
 
+(* Reduction-tree depth in cell levels: the longest chain of FA/HA/
+   counter cells through the netlist.  A counter collapses several FA
+   levels into one, which is the stage win the GPC strategies buy; plain
+   gates (partial products, CPA logic) pass levels through without adding
+   any. *)
+let reduction_levels netlist =
+  let level = Array.make (max 1 (Dp_netlist.Netlist.net_count netlist)) 0 in
+  let worst = ref 0 in
+  Dp_netlist.Netlist.iter_cells
+    (fun id (c : Dp_netlist.Netlist.cell) ->
+      let reduces =
+        match c.kind with
+        | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha -> true
+        | k -> Dp_tech.Cell_kind.is_counter k
+      in
+      let base =
+        Array.fold_left (fun acc n -> max acc level.(n)) 0 c.inputs
+      in
+      let l = if reduces then base + 1 else base in
+      worst := max !worst l;
+      Array.iter
+        (fun n -> level.(n) <- l)
+        (Dp_netlist.Netlist.cell_output_nets netlist id))
+    netlist;
+  !worst
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: timing/area, Conventional vs CSA_OPT vs FA_AOT *)
 
@@ -755,6 +781,27 @@ let speed_case_meta () =
         ("cells", Json.Int (Dp_netlist.Netlist.cell_count netlist));
       ]
   in
+  (* GPC counter strategies against their FA-only baselines: cell count,
+     counter usage, reduction-stage depth and STA critical path, per
+     design — the acceptance numbers for the counter subsystem. *)
+  let counters_case name gpc base (d : Dp_designs.Design.t) =
+    let rg = run gpc d in
+    let rb = run base d in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("design", Json.Str d.name);
+        ("strategy", Json.Str (Strategy.name gpc));
+        ("baseline", Json.Str (Strategy.name base));
+        ("delay_ns", Json.Num rg.stats.delay);
+        ("baseline_delay_ns", Json.Num rb.stats.delay);
+        ("cells", Json.Int rg.stats.cells);
+        ("baseline_cells", Json.Int rb.stats.cells);
+        ("counters", Json.Int rg.stats.counter_count);
+        ("reduction_stages", Json.Int (reduction_levels rg.netlist));
+        ("baseline_reduction_stages", Json.Int (reduction_levels rb.netlist));
+      ]
+  in
   let soak_case ?(crypto = false) ?(mem = false) name ~chaos =
     let fresh tag =
       let path = Filename.temp_file "dpsyn-bench" tag in
@@ -861,6 +908,20 @@ let speed_case_meta () =
     serve_case "serve/batch_4designs";
     crypto_case "crypto/mulmod_diag256" Dp_designs.Crypto.mul_mod_diag;
     crypto_case "crypto/mac_chain" Dp_designs.Crypto.mac_chain;
+    counters_case "counters/poly_square_sc_t_gpc" Strategy.Sc_t_gpc
+      Strategy.Fa_aot Dp_designs.Catalog.poly_square;
+    counters_case "counters/idct_sc_t_gpc" Strategy.Sc_t_gpc Strategy.Fa_aot
+      Dp_designs.Catalog.idct;
+    counters_case "counters/complex_sc_t_gpc" Strategy.Sc_t_gpc Strategy.Fa_aot
+      Dp_designs.Catalog.complex;
+    counters_case "counters/mulmod_diag_sc_t_gpc" Strategy.Sc_t_gpc
+      Strategy.Fa_aot Dp_designs.Crypto.mul_mod_diag;
+    counters_case "counters/mac_chain_sc_t_gpc" Strategy.Sc_t_gpc
+      Strategy.Fa_aot Dp_designs.Crypto.mac_chain;
+    counters_case "counters/idct_sc_lp_gpc" Strategy.Sc_lp_gpc Strategy.Fa_alp
+      Dp_designs.Catalog.idct;
+    counters_case "counters/idct_dadda_gpc" Strategy.Dadda_gpc Strategy.Dadda
+      Dp_designs.Catalog.idct;
     soak_case "soak/plain" ~chaos:false;
     soak_case "soak/chaos" ~chaos:true;
     soak_case "soak/crypto_mem_chaos" ~chaos:true ~crypto:true ~mem:true;
@@ -895,6 +956,12 @@ let bechamel_tests () =
       Test.make ~name:"table1/conventional_idct"
         (Staged.stage (synth Strategy.Conventional));
       Test.make ~name:"table2/fa_alp_idct" (Staged.stage (synth Strategy.Fa_alp));
+      Test.make ~name:"counters/sc_t_gpc_idct"
+        (Staged.stage (synth Strategy.Sc_t_gpc));
+      Test.make ~name:"counters/sc_lp_gpc_idct"
+        (Staged.stage (synth Strategy.Sc_lp_gpc));
+      Test.make ~name:"counters/dadda_gpc_idct"
+        (Staged.stage (synth Strategy.Dadda_gpc));
       Test.make ~name:"table2/fa_random_idct"
         (Staged.stage (synth (Strategy.Fa_random 1)));
       Test.make ~name:"fig1/wallace_quickstart"
@@ -961,6 +1028,54 @@ let bechamel_tests () =
              | exception Dp_diag.Diag.E _ -> ()));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* GPC counters vs the FA-only strategies *)
+
+let counters () =
+  section
+    "GPC counters — 7:3/6:3/5:3/4:2 column reduction vs FA-only baselines \
+     (all bodies certified, all runs equivalence-checked)";
+  let pairs =
+    [
+      (Dp_designs.Catalog.poly_square, Strategy.Sc_t_gpc, Strategy.Fa_aot);
+      (Dp_designs.Catalog.idct, Strategy.Sc_t_gpc, Strategy.Fa_aot);
+      (Dp_designs.Catalog.complex, Strategy.Sc_t_gpc, Strategy.Fa_aot);
+      (Dp_designs.Crypto.mul_mod_diag, Strategy.Sc_t_gpc, Strategy.Fa_aot);
+      (Dp_designs.Crypto.mac_chain, Strategy.Sc_t_gpc, Strategy.Fa_aot);
+      (Dp_designs.Catalog.idct, Strategy.Sc_lp_gpc, Strategy.Fa_alp);
+      (Dp_designs.Catalog.idct, Strategy.Dadda_gpc, Strategy.Dadda);
+    ]
+  in
+  let rows =
+    List.map
+      (fun ((d : Dp_designs.Design.t), gpc, base) ->
+        let rg = verified gpc d in
+        let rb = verified base d in
+        [
+          d.name;
+          Strategy.name gpc;
+          Report.ns rg.stats.delay;
+          Report.ns rb.stats.delay;
+          string_of_int rg.stats.cells;
+          string_of_int rb.stats.cells;
+          string_of_int rg.stats.counter_count;
+          string_of_int (reduction_levels rg.netlist);
+          string_of_int (reduction_levels rb.netlist);
+        ])
+      pairs
+  in
+  Fmt.pr "%s@."
+    (Report.table
+       ~header:
+         [
+           "Design"; "GPC"; "delay"; "base"; "cells"; "base"; "ctrs";
+           "stages"; "base";
+         ]
+       ~rows);
+  Fmt.pr
+    "stages = longest FA/HA/counter chain; the GPC strategies buy their \
+     shallower trees by packing whole columns into single counter levels.@."
+
 let speed () =
   section "Bechamel — synthesis speed (monotonic clock, ns/run)";
   let open Bechamel in
@@ -983,11 +1098,17 @@ let speed () =
            | Some [ ns ] -> (name, Some ns)
            | Some _ | None -> (name, None))
   in
+  (* Column width follows the longest case name: the counters/* and
+     crypto/* names run past any fixed width. *)
+  let name_width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0
+      estimates
+  in
   List.iter
     (fun (name, est) ->
       match est with
-      | Some ns -> Fmt.pr "%-34s %12.0f ns/run@." name ns
-      | None -> Fmt.pr "%-34s (no estimate)@." name)
+      | Some ns -> Fmt.pr "%-*s %12.0f ns/run@." name_width name ns
+      | None -> Fmt.pr "%-*s (no estimate)@." name_width name)
     estimates;
   let json =
     Json.Obj
@@ -1035,6 +1156,7 @@ let experiments =
     ("ablation-booth", ablation_booth);
     ("ablation-glitch", ablation_glitch);
     ("ablation-pipeline", ablation_pipeline);
+    ("counters", counters);
     ("speed", speed);
   ]
 

@@ -116,7 +116,8 @@ let strategy_arg ~default =
     & info [ "strategy" ] ~docv:"S"
         ~doc:
           "Allocation strategy: fa_aot, fa_alp, fa_random, wallace, dadda, \
-           column-isolation, csa_opt, conventional.")
+           column-isolation, csa_opt, conventional, sc_t_gpc, sc_lp_gpc, \
+           dadda_gpc.")
 
 let tech_arg =
   let tech_conv =
@@ -691,21 +692,27 @@ let design_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let action name strategy adder check cells verilog dot =
+  let action name strategy adder check cells verilog dot check_level =
     match Dp_designs.Catalog.find name with
     | None ->
       Fmt.epr "unknown design %s; see 'dpsyn designs'@." name;
       exit 1
-    | Some d ->
-      let r = Dp_flow.Synth.run ~adder ~width:d.width strategy d.env d.expr in
-      Fmt.pr "design: %s — %s@." d.name d.description;
-      report_result r ~env:d.env ~check ~cells ~verilog ~dot d.expr
+    | Some d -> (
+      match
+        Dp_flow.Synth.run_res ~adder ~width:d.width ~check_level strategy
+          d.env d.expr
+      with
+      | Error diag -> fail_diag diag
+      | Ok r ->
+        Fmt.pr "design: %s — %s@." d.name d.description;
+        report_result r ~env:d.env ~check ~cells ~verilog ~dot d.expr)
   in
   Cmd.v (Cmd.info "design" ~doc:"Synthesize one of the paper's designs")
     Term.(
       const action $ name_arg
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
-      $ adder_arg $ check_arg $ cells_arg $ verilog_arg $ dot_arg)
+      $ adder_arg $ check_arg $ cells_arg $ verilog_arg $ dot_arg
+      $ check_level_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Server mode *)

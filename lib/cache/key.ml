@@ -36,7 +36,7 @@ let add_tech buf (t : Dp_tech.Tech.t) =
       t.and2_delay; t.or2_delay; t.xor2_delay; t.not_delay; t.buf_delay;
       t.fa_area; t.ha_area; t.and2_area; t.or2_area; t.xor2_area;
       t.not_area; t.buf_area; t.fa_sum_energy; t.fa_carry_energy;
-      t.ha_sum_energy; t.ha_carry_energy; t.gate_energy;
+      t.ha_sum_energy; t.ha_carry_energy; t.gate_energy; t.counter_fusion;
     ];
   Buffer.add_char buf '\n'
 

@@ -7,7 +7,9 @@ let is_original netlist net =
   match Netlist.driver netlist net with
   | Netlist.From_cell { cell; port = _ } -> (
     match (Netlist.cell netlist cell).kind with
-    | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha -> false
+    | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.C42
+    | Dp_tech.Cell_kind.C53 | Dp_tech.Cell_kind.C63 | Dp_tech.Cell_kind.C73 ->
+      false
     | Dp_tech.Cell_kind.And_n _ | Dp_tech.Cell_kind.Or_n _
     | Dp_tech.Cell_kind.Xor_n _ | Dp_tech.Cell_kind.Not
     | Dp_tech.Cell_kind.Buf -> true)

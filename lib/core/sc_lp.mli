@@ -15,6 +15,10 @@ type tie_break =
   | Q_only
   | Prefer_early  (** break |q| ties toward early arrival, helping timing *)
 
+(** The SC_LP total order (|q| descending, then optionally arrival, then
+    net id) — shared with the counter-aware {!Gpc} strategies. *)
+val compare_nets : Netlist.t -> tie_break -> Netlist.net -> Netlist.net -> int
+
 (** Heap-based selection (O(n log n) per column): the three largest-|q|
     addends feed each FA, popped from a {!Pqueue}. *)
 val reduce_column :

@@ -24,6 +24,10 @@ type three_policy =
   | Ha_finish  (** the paper's rule: HA on the two earliest, keep two *)
   | Fa_finish  (** one FA on all three, keep only its sum *)
 
+(** The SC_T total order (arrival, then optionally |q|, then net id) —
+    shared with the counter-aware {!Gpc} strategies. *)
+val compare_nets : Netlist.t -> tie_break -> Netlist.net -> Netlist.net -> int
+
 (** Heap-based selection (O(n log n) per column): the three minima feed
     each FA, popped from a {!Pqueue} keyed by arrival, then |q| (under
     [Prefer_high_q]), then net id. *)

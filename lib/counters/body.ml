@@ -1,0 +1,54 @@
+open Dp_netlist
+
+(* Evaluate a recipe's blocks on one pin-assignment bitmask; returns
+   per-block (sum, carry). *)
+let eval_blocks (r : Exact.recipe) v =
+  let nb = Array.length r.blocks in
+  let out = Array.make (max nb 1) (false, false) in
+  let value = function
+    | Exact.Pin i -> (v lsr i) land 1 = 1
+    | Exact.Out { block; port } ->
+      (if port = 0 then fst else snd) out.(block)
+  in
+  Array.iteri
+    (fun i (b : Exact.block) ->
+      let n = ref 0 in
+      Array.iter (fun a -> if value a then incr n) b.args;
+      out.(i) <- (!n land 1 = 1, !n >= 2))
+    r.blocks;
+  (out, value)
+
+let port_value (r : Exact.recipe) ~port v =
+  let _, value = eval_blocks r v in
+  value r.outputs.(port)
+
+let weighted_value (r : Exact.recipe) v =
+  let _, value = eval_blocks r v in
+  let acc = ref 0 in
+  for port = 0 to 2 do
+    if value r.outputs.(port) then
+      acc := !acc + (1 lsl Spec.port_weight r.kind ~port)
+  done;
+  !acc
+
+(* Instantiate the recipe through the netlist's FA/HA builders — the
+   expanded (non-monolithic) form of the counter, used by tests to check
+   the monolithic cell against its own body in-circuit. *)
+let expand netlist (r : Exact.recipe) pins =
+  if Array.length pins <> Dp_tech.Cell_kind.arity r.kind then
+    invalid_arg "Body.expand: arity mismatch";
+  let nb = Array.length r.blocks in
+  let outs = Array.make (max nb 1) (0, 0) in
+  let net = function
+    | Exact.Pin i -> pins.(i)
+    | Exact.Out { block; port } ->
+      (if port = 0 then fst else snd) outs.(block)
+  in
+  Array.iteri
+    (fun i (b : Exact.block) ->
+      outs.(i) <-
+        (if b.fa then
+           Netlist.fa netlist (net b.args.(0)) (net b.args.(1)) (net b.args.(2))
+         else Netlist.ha netlist (net b.args.(0)) (net b.args.(1))))
+    r.blocks;
+  (net r.outputs.(0), net r.outputs.(1), net r.outputs.(2))

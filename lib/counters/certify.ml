@@ -1,0 +1,66 @@
+open Dp_tech
+
+let eps = 1e-9
+
+let fail kind fmt =
+  Fmt.kstr
+    (fun msg ->
+      Dp_diag.Diag.fail
+        (Dp_diag.Diag.v ~code:"DP-CTR001" ~subsystem:"counters"
+           ~context:[ ("kind", Cell_kind.name kind) ]
+           msg))
+    fmt
+
+let check_kind tech kind =
+  let r = Exact.recipe kind in
+  let m = Cell_kind.arity kind in
+  (* 1. Exhaustive functional equivalence: the synthesized body computes
+     the arithmetic spec on all 2^m assignments, every port. *)
+  for v = 0 to (1 lsl m) - 1 do
+    for port = 0 to 2 do
+      if Body.port_value r ~port v <> Spec.port_value kind ~port v then
+        fail kind "body disagrees with spec on port %d, assignment %#x" port v
+    done;
+    if Body.weighted_value r v <> Spec.popcount v then
+      fail kind "body violates the popcount invariant on assignment %#x" v
+  done;
+  (* 2. The technology's closed-form pin delays are exactly the recipe's
+     path delays — including which pins have no path at all. *)
+  for pin = 0 to m - 1 do
+    for port = 0 to 2 do
+      match
+        (Tech.pin_delay tech kind ~pin ~port, Model.pin_delay tech r ~pin ~port)
+      with
+      | None, None -> ()
+      | Some a, Some b when Float.abs (a -. b) <= eps -> ()
+      | Some a, Some b ->
+        fail kind
+          "pin %d -> port %d: technology says %.17g, body implies %.17g" pin
+          port a b
+      | Some _, None | None, Some _ ->
+        fail kind "pin %d -> port %d: path existence mismatch" pin port
+    done
+  done;
+  (* 3. Area and energy conservation against the body. *)
+  let ta = Tech.area tech kind and ba = Model.area tech r in
+  if Float.abs (ta -. ba) > eps then
+    fail kind "area mismatch: technology %.17g, body %.17g" ta ba;
+  let te =
+    Tech.energy tech kind ~port:0
+    +. Tech.energy tech kind ~port:1
+    +. Tech.energy tech kind ~port:2
+  and be = Model.total_energy tech r in
+  if Float.abs (te -. be) > eps then
+    fail kind "energy not conserved: technology ports sum %.17g, body %.17g"
+      te be
+
+(* Memoized per technology: the strategies call [ensure] on every synth,
+   so the certificates must be cheap after the first run — but remain a
+   load-bearing gate, not a test-only artifact. *)
+let certified : (Tech.t, unit) Hashtbl.t = Hashtbl.create 4
+
+let ensure tech =
+  if not (Hashtbl.mem certified tech) then begin
+    List.iter (check_kind tech) Spec.kinds;
+    Hashtbl.add certified tech ()
+  end

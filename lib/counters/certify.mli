@@ -1,0 +1,17 @@
+(** Load-bearing certification of the counter library against a
+    technology.
+
+    [ensure tech] exactly-synthesizes (or reuses) every counter body and
+    proves, for the given technology: exhaustive functional equivalence
+    of each body against its arithmetic spec (all [2^m] assignments,
+    every port); bit-level agreement of the technology's closed-form
+    pin/port delays with the body's path delays, including path
+    {e absence} (the 4:2 carry-out's cin independence); area equality;
+    and port-energy conservation.  The counter-aware strategies call this
+    before building, so a miswired body or a drifted closed form stops
+    synthesis rather than silently corrupting results.
+
+    Memoized per technology value.
+
+    @raise Dp_diag.Diag.E with code [DP-CTR001] on any mismatch. *)
+val ensure : Dp_tech.Tech.t -> unit

@@ -1,0 +1,40 @@
+(** Exact synthesis of the parallel-counter bodies.
+
+    A branch-and-bound search over FA/HA compositions finds, for each
+    counter kind, a gate-level body that is provably minimal under the
+    lexicographic cost (area in HA units with FA = 2, then unit depth),
+    with deterministic first-found tie-breaking.  Because every move
+    preserves the invariant that the weighted signal functions sum to the
+    input popcount, a goal-shaped result is functionally correct by
+    construction; [Certify] re-verifies it exhaustively anyway. *)
+
+(** A signal inside a recipe: an input pin or a block output
+    (port 0 = sum, port 1 = carry). *)
+type sig_ref = Pin of int | Out of { block : int; port : int }
+
+(** One FA (3 args) or HA (2 args) block. *)
+type block = { fa : bool; args : sig_ref array }
+
+(** A certified body: blocks in dependency order (arguments only reference
+    pins or earlier blocks) and the three output ports. *)
+type recipe = {
+  kind : Dp_tech.Cell_kind.t;
+  blocks : block array;
+  outputs : sig_ref array;
+}
+
+(** Run the search from scratch (no cache).  Deterministic.
+    @raise Invalid_argument if the kind is not a counter. *)
+val synthesize : Dp_tech.Cell_kind.t -> recipe
+
+(** Memoized {!synthesize} — one search per kind per process. *)
+val recipe : Dp_tech.Cell_kind.t -> recipe
+
+val fa_count : recipe -> int
+val ha_count : recipe -> int
+
+(** Area in HA units (FA = 2, HA = 1) — the search's primary cost. *)
+val area_units : recipe -> int
+
+(** Unit depth (levels of FA/HA blocks) — the search's tie-break cost. *)
+val depth : recipe -> int

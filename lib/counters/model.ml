@@ -1,0 +1,53 @@
+open Dp_tech
+
+(* Pin-resolved delay by a single-pin forward pass: seed the probed pin
+   at 0.0 and every other pin at -inf, propagate block worst-arrival plus
+   the technology's FA/HA port delays, and read the port.  -inf at the
+   output means no combinational path (the 4:2's carry-out vs its cin).
+   Sums stay left-associated along each path, so for non-negative delays
+   the results are bit-identical to the technology's closed forms —
+   [Certify] holds the two within a tight epsilon.  The composed path is
+   scaled by the technology's [counter_fusion], the ratio at which the
+   monolithic cell beats its discrete reference body. *)
+let pin_delay tech (r : Exact.recipe) ~pin ~port =
+  let nb = Array.length r.blocks in
+  let arr = Array.make (max nb 1) (neg_infinity, neg_infinity) in
+  let at = function
+    | Exact.Pin i -> if i = pin then 0.0 else neg_infinity
+    | Exact.Out { block; port } -> (if port = 0 then fst else snd) arr.(block)
+  in
+  Array.iteri
+    (fun i (b : Exact.block) ->
+      let worst =
+        Array.fold_left (fun acc a -> Float.max acc (at a)) neg_infinity b.args
+      in
+      let kind = if b.fa then Cell_kind.Fa else Cell_kind.Ha in
+      arr.(i) <-
+        ( worst +. Tech.delay tech kind ~port:0,
+          worst +. Tech.delay tech kind ~port:1 ))
+    r.blocks;
+  let a = at r.outputs.(port) in
+  if Float.is_finite a then Some (tech.Tech.counter_fusion *. a) else None
+
+let worst_delay tech r ~port =
+  let worst = ref neg_infinity in
+  for pin = 0 to Cell_kind.arity r.Exact.kind - 1 do
+    match pin_delay tech r ~pin ~port with
+    | Some d -> worst := Float.max !worst d
+    | None -> ()
+  done;
+  !worst
+
+let area tech (r : Exact.recipe) =
+  (float_of_int (Exact.fa_count r) *. Tech.area tech Cell_kind.Fa)
+  +. (float_of_int (Exact.ha_count r) *. Tech.area tech Cell_kind.Ha)
+
+(* Total switching energy of the body's block outputs.  The monolithic
+   cell attributes the same total across its three ports, so the sums
+   must agree — the conservation law [Certify] checks. *)
+let total_energy tech (r : Exact.recipe) =
+  Array.fold_left
+    (fun acc (b : Exact.block) ->
+      let kind = if b.fa then Cell_kind.Fa else Cell_kind.Ha in
+      acc +. Tech.energy tech kind ~port:0 +. Tech.energy tech kind ~port:1)
+    0.0 r.blocks

@@ -1,0 +1,41 @@
+type t = { lo : int64; hi : int64 }
+
+let equal a b = Int64.equal a.lo b.lo && Int64.equal a.hi b.hi
+
+(* Unsigned, high-word-first: the input-pin tables sort in pin order
+   (pin 0 = 0xAA.., pin 1 = 0xCC.., ... pin 6 = hi-word ones), which is
+   what makes the exact search's first combination the lowest pins. *)
+let compare a b =
+  let c = Int64.unsigned_compare a.hi b.hi in
+  if c <> 0 then c else Int64.unsigned_compare a.lo b.lo
+
+let of_fun m f =
+  let lo = ref 0L and hi = ref 0L in
+  for v = 0 to (1 lsl m) - 1 do
+    if f v then
+      if v < 64 then lo := Int64.logor !lo (Int64.shift_left 1L v)
+      else hi := Int64.logor !hi (Int64.shift_left 1L (v - 64))
+  done;
+  { lo = !lo; hi = !hi }
+
+let pin m i = of_fun m (fun v -> (v lsr i) land 1 = 1)
+
+let get t v =
+  if v < 64 then Int64.logand (Int64.shift_right_logical t.lo v) 1L <> 0L
+  else Int64.logand (Int64.shift_right_logical t.hi (v - 64)) 1L <> 0L
+
+let map2 f a b = { lo = f a.lo b.lo; hi = f a.hi b.hi }
+let logxor = map2 Int64.logxor
+let logand = map2 Int64.logand
+let logor = map2 Int64.logor
+let xor3 a b c = logxor (logxor a b) c
+let maj3 a b c = logor (logand a b) (logor (logand a c) (logand b c))
+
+(* [independent_of m t ~pin]: the function never changes when [pin]
+   flips — i.e. there is no combinational dependence on that input. *)
+let independent_of m t ~pin =
+  let ok = ref true in
+  for v = 0 to (1 lsl m) - 1 do
+    if get t v <> get t (v lxor (1 lsl pin)) then ok := false
+  done;
+  !ok

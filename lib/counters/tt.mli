@@ -1,0 +1,30 @@
+(** Truth tables of boolean functions of up to 7 inputs, packed into 128
+    bits.  Bit [v] (of [lo] for [v < 64], else of [hi]) is the function
+    value on the input assignment whose pin [i] carries bit [i] of [v]. *)
+
+type t = { lo : int64; hi : int64 }
+
+val equal : t -> t -> bool
+
+(** Total order, unsigned and high-word-first; on the pin tables of
+    {!pin} it coincides with pin order. *)
+val compare : t -> t -> int
+
+(** [of_fun m f] tabulates [f] over all [2^m] assignments ([m <= 7]). *)
+val of_fun : int -> (int -> bool) -> t
+
+(** The projection table of input [i] among [m] inputs. *)
+val pin : int -> int -> t
+
+(** Value on assignment [v]. *)
+val get : t -> int -> bool
+
+val logxor : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val xor3 : t -> t -> t -> t
+val maj3 : t -> t -> t -> t
+
+(** [independent_of m t ~pin] holds when flipping [pin] never changes the
+    function — there is no combinational path from that input. *)
+val independent_of : int -> t -> pin:int -> bool

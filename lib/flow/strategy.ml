@@ -10,6 +10,9 @@ type t =
   | Column_isolation
   | Csa_opt
   | Conventional
+  | Sc_t_gpc  (** SC_T order with 7:3/6:3/5:3 parallel counters *)
+  | Sc_lp_gpc  (** SC_LP order with 7:3/6:3/5:3 parallel counters *)
+  | Dadda_gpc  (** Dadda-style staged 4:2 compressor tree *)
 
 let all =
   [
@@ -24,6 +27,9 @@ let all =
     Fa_aot_fa3;
     Fa_alp;
     Fa_alp_combined;
+    Sc_t_gpc;
+    Sc_lp_gpc;
+    Dadda_gpc;
   ]
 
 let name = function
@@ -38,6 +44,9 @@ let name = function
   | Column_isolation -> "Col-Iso"
   | Csa_opt -> "CSA_OPT"
   | Conventional -> "Convent."
+  | Sc_t_gpc -> "SC_T_GPC"
+  | Sc_lp_gpc -> "SC_LP_GPC"
+  | Dadda_gpc -> "Dadda_GPC"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -59,6 +68,9 @@ let of_name s =
   | "col-iso" | "column-isolation" -> Some Column_isolation
   | "csa_opt" | "csa-opt" -> Some Csa_opt
   | "conventional" | "convent" | "convent." -> Some Conventional
+  | "sc_t_gpc" | "gpc-timing" -> Some Sc_t_gpc
+  | "sc_lp_gpc" | "gpc-power" -> Some Sc_lp_gpc
+  | "dadda_gpc" | "dadda-gpc" -> Some Dadda_gpc
   | _ -> None
 
 let pp ppf s = Fmt.string ppf (name s)

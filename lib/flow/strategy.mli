@@ -1,8 +1,10 @@
 (** The synthesis strategies the experiments compare: the paper's FA_AOT /
     FA_ALP (plus their combined tie-breaking variants and the FA_random
     baseline), the fixed-structure Wallace/Dadda schemes, the Fig. 2(b)
-    column-isolation variant, the word-level CSA_OPT [8], and the
-    conventional two-step RTL flow. *)
+    column-isolation variant, the word-level CSA_OPT [8], the
+    conventional two-step RTL flow, and the generalized parallel-counter
+    variants that extend SC_T/SC_LP with certified 7:3/6:3/5:3 counters
+    and Dadda with a staged 4:2 compressor tree. *)
 
 type t =
   | Fa_aot
@@ -16,6 +18,9 @@ type t =
   | Column_isolation
   | Csa_opt
   | Conventional
+  | Sc_t_gpc
+  | Sc_lp_gpc
+  | Dadda_gpc
 
 val all : t list
 val name : t -> string

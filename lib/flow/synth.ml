@@ -28,6 +28,9 @@ let allocate_matrix (strategy : Strategy.t) netlist matrix =
   | Wallace -> Dp_core.Wallace.allocate netlist matrix
   | Dadda -> Dp_core.Dadda.allocate netlist matrix
   | Column_isolation -> Dp_core.Column_isolation.allocate netlist matrix
+  | Sc_t_gpc -> Dp_core.Gpc.allocate_t netlist matrix
+  | Sc_lp_gpc -> Dp_core.Gpc.allocate_lp netlist matrix
+  | Dadda_gpc -> Dp_core.Gpc.allocate_dadda netlist matrix
   | Conventional | Csa_opt ->
     invalid_arg "Synth.allocate_matrix: not a matrix strategy"
 
@@ -105,7 +108,8 @@ let build ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
     let out = Dp_adders.Adder.build_rows adder netlist ~width final_rows in
     finish ~reduced_max_arrival strategy netlist ~width out
   | Fa_aot | Fa_aot_combined | Fa_aot_fa3 | Fa_alp | Fa_alp_combined
-  | Fa_random _ | Wallace | Dadda | Column_isolation ->
+  | Fa_random _ | Wallace | Dadda | Column_isolation | Sc_t_gpc | Sc_lp_gpc
+  | Dadda_gpc ->
     let matrix =
       Dp_bitmatrix.Lower.lower ~config:lower_config netlist env expr ~width
     in
@@ -186,7 +190,8 @@ let run_multi ?(tech = Dp_tech.Tech.lcb_like) ?(adder = Dp_adders.Adder.Cla)
           let final_rows = Dp_baselines.Csa_opt.allocate netlist ~width:p.width rows in
           Dp_adders.Adder.build_rows adder netlist ~width:p.width final_rows
         | Fa_aot | Fa_aot_combined | Fa_aot_fa3 | Fa_alp | Fa_alp_combined
-        | Fa_random _ | Wallace | Dadda | Column_isolation ->
+        | Fa_random _ | Wallace | Dadda | Column_isolation | Sc_t_gpc
+        | Sc_lp_gpc | Dadda_gpc ->
           let matrix =
             Dp_bitmatrix.Lower.lower ~config:lower_config netlist env p.expr
               ~width:p.width

@@ -248,4 +248,5 @@ let tech rng =
     ha_sum_energy = f 0.01 0.8;
     ha_carry_energy = f 0.01 0.8;
     gate_energy = f 0.005 0.5;
+    counter_fusion = f 0.5 1.0;
   }

@@ -204,16 +204,23 @@ let check_annotations ~ctx netlist =
       fail ~code:"DP-FUZZ002" "net %d has a negative or non-finite arrival %g" n a
     | None ->
       let non_monotone = ref None in
+      let tech = Netlist.tech netlist in
       Netlist.iter_cells
         (fun c (cell : Netlist.cell) ->
-          let latest_in =
-            Array.fold_left
-              (fun acc n -> Float.max acc (Netlist.arrival netlist n))
-              0.0 cell.inputs
-          in
-          Array.iter
-            (fun out ->
-              if Netlist.arrival netlist out +. 1e-9 < latest_in then
+          (* Monotonicity is per (pin, port) path: a port must not arrive
+             before any input that actually reaches it.  A 4:2
+             compressor's carry-out legitimately precedes its cin. *)
+          Array.iteri
+            (fun port out ->
+              let latest_in = ref 0.0 in
+              Array.iteri
+                (fun pin n ->
+                  match Dp_tech.Tech.pin_delay tech cell.kind ~pin ~port with
+                  | Some _ ->
+                    latest_in := Float.max !latest_in (Netlist.arrival netlist n)
+                  | None -> ())
+                cell.inputs;
+              if Netlist.arrival netlist out +. 1e-9 < !latest_in then
                 if !non_monotone = None then non_monotone := Some (c, out))
             (Netlist.cell_output_nets netlist c))
         netlist;

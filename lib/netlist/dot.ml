@@ -1,3 +1,5 @@
+let port_label port = match port with 0 -> "s" | 1 -> "c" | _ -> "co"
+
 let emit ?(graph_name = "netlist") netlist =
   let buffer = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
@@ -20,8 +22,7 @@ let emit ?(graph_name = "netlist") netlist =
         (fun input ->
           match Netlist.driver netlist input with
           | Netlist.From_cell { cell; port } ->
-            line "  cell%d -> cell%d [label=\"%s\"];" cell id
-              (if port = 0 then "s" else "c")
+            line "  cell%d -> cell%d [label=\"%s\"];" cell id (port_label port)
           | Netlist.From_input _ | Netlist.From_const _ ->
             line "  net%d -> cell%d;" input id)
         c.inputs)
@@ -34,7 +35,7 @@ let emit ?(graph_name = "netlist") netlist =
           match Netlist.driver netlist net with
           | Netlist.From_cell { cell; port } ->
             line "  cell%d -> out_%s_%d [label=\"%s\"];" cell name bit
-              (if port = 0 then "s" else "c")
+              (port_label port)
           | Netlist.From_input _ | Netlist.From_const _ ->
             line "  net%d -> out_%s_%d;" net name bit)
         nets)

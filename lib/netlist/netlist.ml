@@ -124,16 +124,27 @@ let add_cell t kind inputs ~out_probs =
   let arity = Dp_tech.Cell_kind.arity kind in
   if Array.length inputs <> arity then
     invalid_arg "Netlist.add_cell: arity mismatch";
-  let in_arrival =
-    Array.fold_left (fun acc n -> Float.max acc (arrival t n)) neg_infinity inputs
-  in
   let cell_id = Vec.push t.cells { kind; inputs } in
+  (* Per-port arrival: worst over the pins that actually reach the port.
+     For conventional cells every pin reaches every port with the port's
+     one delay, so this reduces to max-input-arrival + delay; the
+     counters' pin-resolved model makes e.g. a 4:2's carry-out ignore its
+     late carry-in pin entirely. *)
+  let port_arrival port =
+    let worst = ref neg_infinity in
+    Array.iteri
+      (fun pin n ->
+        match Dp_tech.Tech.pin_delay t.tech kind ~pin ~port with
+        | Some d -> worst := Float.max !worst (arrival t n +. d)
+        | None -> ())
+      inputs;
+    !worst
+  in
   let outs =
     Array.init (Dp_tech.Cell_kind.output_count kind) (fun port ->
         new_net t
           ~driver:(From_cell { cell = cell_id; port })
-          ~arrival:(in_arrival +. Dp_tech.Tech.delay t.tech kind ~port)
-          ~prob:out_probs.(port))
+          ~arrival:(port_arrival port) ~prob:out_probs.(port))
   in
   let id' = Vec.push t.cell_outputs outs in
   assert (id' = cell_id);
@@ -271,6 +282,113 @@ let fa t a b c =
         ~out_probs:[| p_sum; p_carry |]
     in
     outs.(0), outs.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Generalized parallel counters (monolithic cells).                   *)
+
+(* 1-probabilities of the binary digits of popcount over independent
+   inputs, by convolving the Bernoulli count distribution.  [Dp_power.Prob]
+   recomputes the same quantities by minterm enumeration as an independent
+   cross-check; both carry the paper's independence assumption. *)
+let popcount_bit_probs t nets =
+  let m = Array.length nets in
+  let dist = Array.make (m + 1) 0.0 in
+  dist.(0) <- 1.0;
+  Array.iteri
+    (fun i n ->
+      let p = prob t n in
+      for c = i + 1 downto 1 do
+        dist.(c) <- (dist.(c) *. (1.0 -. p)) +. (dist.(c - 1) *. p)
+      done;
+      dist.(0) <- dist.(0) *. (1.0 -. p))
+    nets;
+  Array.init 3 (fun b ->
+      let acc = ref 0.0 in
+      for c = 0 to m do
+        if c land (1 lsl b) <> 0 then acc := !acc +. dist.(c)
+      done;
+      !acc)
+
+let maj3_prob pa pb pc =
+  (pa *. pb) +. (pa *. pc) +. (pb *. pc) -. (2.0 *. pa *. pb *. pc)
+
+let xor3_prob pa pb pc = xor2_prob (xor2_prob pa pb) pc
+
+(* Canonical expanded bodies — the same recipes [Dp_counters] certifies.
+   Used when a constant input lets the counter degrade: [fa]/[ha] fold
+   the constants away, so e.g. C53(a,b,c,d,0) costs one FA + one FA +
+   one HA with the zero absorbed. *)
+let c53_body t p0 p1 p2 p3 p4 =
+  let s, c1 = fa t p0 p1 p2 in
+  let s0, c2 = fa t s p3 p4 in
+  let s1, s2 = ha t c1 c2 in
+  (s0, s1, s2)
+
+let c63_body t p0 p1 p2 p3 p4 p5 =
+  let s, c1 = fa t p0 p1 p2 in
+  let u, c2 = fa t p3 p4 p5 in
+  let s0, c3 = ha t s u in
+  let s1, s2 = fa t c1 c2 c3 in
+  (s0, s1, s2)
+
+let c73_body t p0 p1 p2 p3 p4 p5 p6 =
+  let s, c1 = fa t p0 p1 p2 in
+  let u, c2 = fa t p3 p4 p5 in
+  let s0, c3 = fa t s u p6 in
+  let s1, s2 = fa t c1 c2 c3 in
+  (s0, s1, s2)
+
+let c42_body t x1 x2 x3 x4 cin =
+  let u, cout = fa t x1 x2 x3 in
+  let sum, carry = fa t u x4 cin in
+  (sum, carry, cout)
+
+let has_const_input t nets =
+  Array.exists (fun n -> const_value t n <> None) nets
+
+let pure_counter t kind body nets =
+  if Array.length nets <> Dp_tech.Cell_kind.arity kind then
+    invalid_arg
+      (Printf.sprintf "Netlist.%s: arity mismatch"
+         (String.lowercase_ascii (Dp_tech.Cell_kind.name kind)));
+  if has_const_input t nets then body ()
+  else
+    let outs = add_cell t kind nets ~out_probs:(popcount_bit_probs t nets) in
+    (outs.(0), outs.(1), outs.(2))
+
+let c53 t nets =
+  pure_counter t Dp_tech.Cell_kind.C53
+    (fun () -> c53_body t nets.(0) nets.(1) nets.(2) nets.(3) nets.(4))
+    nets
+
+let c63 t nets =
+  pure_counter t Dp_tech.Cell_kind.C63
+    (fun () ->
+      c63_body t nets.(0) nets.(1) nets.(2) nets.(3) nets.(4) nets.(5))
+    nets
+
+let c73 t nets =
+  pure_counter t Dp_tech.Cell_kind.C73
+    (fun () ->
+      c73_body t nets.(0) nets.(1) nets.(2) nets.(3) nets.(4) nets.(5) nets.(6))
+    nets
+
+let c42 t nets =
+  if Array.length nets <> 5 then invalid_arg "Netlist.c42: arity mismatch";
+  let x1 = nets.(0) and x2 = nets.(1) and x3 = nets.(2) in
+  let x4 = nets.(3) and cin = nets.(4) in
+  if has_const_input t nets then c42_body t x1 x2 x3 x4 cin
+  else
+    (* sum = (x1^x2^x3) ^ x4 ^ cin; carry = maj(x1^x2^x3, x4, cin);
+       cout = maj(x1, x2, x3) — the cin-independent chain output. *)
+    let p1 = prob t x1 and p2 = prob t x2 and p3 = prob t x3 in
+    let p4 = prob t x4 and pc = prob t cin in
+    let pu = xor3_prob p1 p2 p3 in
+    let out_probs =
+      [| xor3_prob pu p4 pc; maj3_prob pu p4 pc; maj3_prob p1 p2 p3 |]
+    in
+    let outs = add_cell t Dp_tech.Cell_kind.C42 nets ~out_probs in
+    (outs.(0), outs.(1), outs.(2))
 
 let set_output t name nets =
   if Hashtbl.mem t.output_index name then

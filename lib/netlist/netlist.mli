@@ -2,7 +2,8 @@
 
     A netlist is a growable set of nets (single-bit signals) driven by
     primary inputs, constants, or cell output ports.  FA/HA cells have two
-    output ports (sum = port 0, carry = port 1); all other cells have one.
+    output ports (sum = port 0, carry = port 1), the parallel counters
+    three (see {!Dp_tech.Cell_kind}); all other cells have one.
 
     The builder computes each new net's {e arrival time} (from the
     technology's pin-to-pin delays, Sec. 3.1 of the paper) and {e
@@ -85,6 +86,24 @@ val ha : t -> net -> net -> net * net
 
 (** [fa t a b c] is [(sum, carry)]. *)
 val fa : t -> net -> net -> net -> net * net
+
+(** Generalized parallel counters, [(s0, s1, s2)] with [s0] at the input
+    weight, [s1] one weight up and [s2] two weights up — the binary digits
+    of the input population count.  A constant input degrades the counter
+    into its canonical FA/HA body (certified in [Dp_counters]) with the
+    constant folded away.
+    @raise Invalid_argument unless given exactly 5/6/7 nets. *)
+val c53 : t -> net array -> net * net * net
+
+val c63 : t -> net array -> net * net * net
+val c73 : t -> net array -> net * net * net
+
+(** 4:2 compressor: inputs [[| x1; x2; x3; x4; cin |]], result
+    [(sum, carry, cout)] with [sum] at the input weight and both [carry]
+    and [cout] one weight up.  [cout] depends only on [x1..x3], never on
+    [cin], so 4:2 rows chain without a ripple.
+    @raise Invalid_argument unless given exactly 5 nets. *)
+val c42 : t -> net array -> net * net * net
 
 (** @raise Invalid_argument on duplicate names. *)
 val set_output : t -> string -> net array -> unit

@@ -3,6 +3,7 @@ type t = {
   cells : int;
   fa_count : int;
   ha_count : int;
+  counter_count : int;
   gate_count : int;
   area : float;
   depth : int;
@@ -30,12 +31,13 @@ let of_netlist netlist =
   {
     nets = Netlist.net_count netlist;
     cells = Netlist.cell_count netlist;
-    fa_count = count_kind netlist (function Fa -> true | Ha | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> false);
-    ha_count = count_kind netlist (function Ha -> true | Fa | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> false);
+    fa_count = count_kind netlist (function Fa -> true | _ -> false);
+    ha_count = count_kind netlist (function Ha -> true | _ -> false);
+    counter_count = count_kind netlist is_counter;
     gate_count =
       count_kind netlist (function
         | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> true
-        | Fa | Ha -> false);
+        | Fa | Ha | C42 | C53 | C63 | C73 -> false);
     area = Netlist.area netlist;
     depth = Topo.depth netlist;
     delay = Netlist.max_output_arrival netlist;
@@ -43,8 +45,10 @@ let of_netlist netlist =
 
 let pp ppf s =
   Fmt.pf ppf
-    "delay %.2f ns, area %.0f units, %d FA, %d HA, %d gates, depth %d, %d nets"
-    s.delay s.area s.fa_count s.ha_count s.gate_count s.depth s.nets
+    "delay %.2f ns, area %.0f units, %d FA, %d HA%a, %d gates, depth %d, %d nets"
+    s.delay s.area s.fa_count s.ha_count
+    (fun ppf c -> if c > 0 then Fmt.pf ppf ", %d counters" c)
+    s.counter_count s.gate_count s.depth s.nets
 
 let net_name netlist net =
   match Netlist.driver netlist net with

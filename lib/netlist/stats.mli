@@ -6,7 +6,8 @@ type t = {
   cells : int;
   fa_count : int;
   ha_count : int;
-  gate_count : int;  (** cells other than FA/HA *)
+  counter_count : int;  (** C42/C53/C63/C73 parallel-counter cells *)
+  gate_count : int;  (** cells other than FA/HA and counters *)
   area : float;
   depth : int;  (** logic levels *)
   delay : float;  (** latest output arrival (ns) *)

@@ -35,25 +35,29 @@ let depth netlist =
     (Netlist.outputs netlist)
 
 let critical_path netlist ~from =
-  (* Walk back from [from] through, at each cell, the input with the latest
-     arrival; report nets root-first. *)
+  (* Walk back from [from] through, at each cell, the input pin whose
+     arrival-plus-pin-delay dominates the port's arrival; pins with no
+     combinational path to the port (a 4:2 compressor's carry-out does
+     not see its cin) are never chosen.  Report nets root-first. *)
+  let tech = Netlist.tech netlist in
   let rec walk net acc =
     let acc = net :: acc in
     match Netlist.driver netlist net with
     | Netlist.From_input _ | Netlist.From_const _ -> acc
-    | Netlist.From_cell { cell; port = _ } ->
+    | Netlist.From_cell { cell; port } ->
       let c = Netlist.cell netlist cell in
-      let worst =
-        Array.fold_left
-          (fun acc input ->
-            match acc with
-            | None -> Some input
-            | Some best ->
-              if Netlist.arrival netlist input > Netlist.arrival netlist best
-              then Some input
-              else acc)
-          None c.inputs
-      in
-      (match worst with None -> acc | Some input -> walk input acc)
+      let worst = ref None and worst_at = ref neg_infinity in
+      Array.iteri
+        (fun pin input ->
+          match Dp_tech.Tech.pin_delay tech c.kind ~pin ~port with
+          | Some d ->
+            let at = Netlist.arrival netlist input +. d in
+            if !worst = None || at > !worst_at then begin
+              worst := Some input;
+              worst_at := at
+            end
+          | None -> ())
+        c.inputs;
+      (match !worst with None -> acc | Some input -> walk input acc)
   in
   walk from []

@@ -8,9 +8,34 @@ let fa_carry_q qx qy qz =
 let ha_sum_q qx qy = fa_sum_q qx qy (-0.5)
 let ha_carry_q qx qy = fa_carry_q qx qy (-0.5)
 
+let popcount_int v =
+  let n = ref 0 and v = ref v in
+  while !v <> 0 do
+    n := !n + (!v land 1);
+    v := !v lsr 1
+  done;
+  !n
+
 let cell_output_prob (c : Netlist.cell) probs ~port =
   let p i = probs.(c.inputs.(i)) in
   let qv i = p i -. 0.5 in
+  (* Minterm enumeration over the 2^m pin assignments (m <= 7).
+     Deliberately a different algorithm from the builder's count-
+     distribution convolution / closed forms, so annotation and
+     recomputation cross-check each other. *)
+  let enumerate m value_of =
+    let acc = ref 0.0 in
+    for v = 0 to (1 lsl m) - 1 do
+      if value_of v then begin
+        let pr = ref 1.0 in
+        for i = 0 to m - 1 do
+          pr := !pr *. (if (v lsr i) land 1 = 1 then p i else 1.0 -. p i)
+        done;
+        acc := !acc +. !pr
+      end
+    done;
+    !acc
+  in
   match c.kind, port with
   | Dp_tech.Cell_kind.Fa, 0 -> 0.5 +. fa_sum_q (qv 0) (qv 1) (qv 2)
   | Dp_tech.Cell_kind.Fa, 1 -> 0.5 +. fa_carry_q (qv 0) (qv 1) (qv 2)
@@ -35,11 +60,25 @@ let cell_output_prob (c : Netlist.cell) probs ~port =
       acc := !acc +. pi -. (2.0 *. !acc *. pi)
     done;
     !acc
+  | ( Dp_tech.Cell_kind.C53 | Dp_tech.Cell_kind.C63 | Dp_tech.Cell_kind.C73 ),
+    (0 | 1 | 2) ->
+    let m = Array.length c.inputs in
+    enumerate m (fun v -> (popcount_int v lsr port) land 1 = 1)
+  | Dp_tech.Cell_kind.C42, (0 | 1 | 2) ->
+    enumerate 5 (fun v ->
+        let bit i = (v lsr i) land 1 = 1 in
+        let t = bit 0 <> bit 1 <> bit 2 in
+        match port with
+        | 0 -> t <> bit 3 <> bit 4
+        | 1 -> (t && bit 3) || (t && bit 4) || (bit 3 && bit 4)
+        | _ -> (bit 0 && bit 1) || (bit 0 && bit 2) || (bit 1 && bit 2))
   | Dp_tech.Cell_kind.Not, 0 -> 1.0 -. p 0
   | Dp_tech.Cell_kind.Buf, 0 -> p 0
-  | ( Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.And_n _
-    | Dp_tech.Cell_kind.Or_n _ | Dp_tech.Cell_kind.Xor_n _
-    | Dp_tech.Cell_kind.Not | Dp_tech.Cell_kind.Buf ), _ ->
+  | ( Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.C42
+    | Dp_tech.Cell_kind.C53 | Dp_tech.Cell_kind.C63 | Dp_tech.Cell_kind.C73
+    | Dp_tech.Cell_kind.And_n _ | Dp_tech.Cell_kind.Or_n _
+    | Dp_tech.Cell_kind.Xor_n _ | Dp_tech.Cell_kind.Not
+    | Dp_tech.Cell_kind.Buf ), _ ->
     invalid_arg "Prob.cell_output_prob: bad port"
 
 let probabilities netlist =

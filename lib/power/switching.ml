@@ -5,14 +5,16 @@ let activity p = p *. (1.0 -. p)
 let net_activity netlist net = activity (Netlist.prob netlist net)
 
 let tree_switching netlist =
-  (* The paper's E_switching(T) (Sec. 4.2): sum over FA (and HA) cells of
-     Ws * E(sum) + Wc * E(carry). *)
+  (* The paper's E_switching(T) (Sec. 4.2): sum over adder cells — FA/HA
+     and the parallel counters — of energy * activity per output port. *)
   let tech = Netlist.tech netlist in
   let total = ref 0.0 in
   Netlist.iter_cells
     (fun id (c : Netlist.cell) ->
       match c.kind with
-      | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha ->
+      | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.C42
+      | Dp_tech.Cell_kind.C53 | Dp_tech.Cell_kind.C63 | Dp_tech.Cell_kind.C73
+        ->
         let outs = Netlist.cell_output_nets netlist id in
         Array.iteri
           (fun port net ->

@@ -414,6 +414,7 @@ let result_record (p : synth_params) (o : Dp_cache.Serve.outcome) =
              ("cells", Json.Int s.cells);
              ("fa", Json.Int s.fa_count);
              ("ha", Json.Int s.ha_count);
+             ("counters", Json.Int s.counter_count);
              ("gates", Json.Int s.gate_count);
              ("area", Json.Float s.area);
              ("depth", Json.Int s.depth);

@@ -16,6 +16,20 @@ let popcount x =
   let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
   to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
 
+(* 64-lane FA/HA blocks, used to evaluate the counters through their
+   canonical exactly-synthesized bodies (the [Dp_counters] recipes) —
+   deliberately NOT via popcount, so that [Simulator]'s arithmetic
+   semantics and this boolean evaluation cross-check each other. *)
+let fa64 a b c =
+  let sum = Int64.logxor (Int64.logxor a b) c in
+  let carry =
+    Int64.logor (Int64.logand a b)
+      (Int64.logor (Int64.logand a c) (Int64.logand b c))
+  in
+  (sum, carry)
+
+let ha64 a b = (Int64.logxor a b, Int64.logand a b)
+
 let cell_outputs (c : Netlist.cell) (values : int64 array) =
   let v i = values.(c.inputs.(i)) in
   match c.kind with
@@ -30,6 +44,27 @@ let cell_outputs (c : Netlist.cell) (values : int64 array) =
   | Dp_tech.Cell_kind.Ha ->
     let a = v 0 and b = v 1 in
     [| Int64.logxor a b; Int64.logand a b |]
+  | Dp_tech.Cell_kind.C53 ->
+    let s, c1 = fa64 (v 0) (v 1) (v 2) in
+    let s0, c2 = fa64 s (v 3) (v 4) in
+    let s1, s2 = ha64 c1 c2 in
+    [| s0; s1; s2 |]
+  | Dp_tech.Cell_kind.C63 ->
+    let s, c1 = fa64 (v 0) (v 1) (v 2) in
+    let u, c2 = fa64 (v 3) (v 4) (v 5) in
+    let s0, c3 = ha64 s u in
+    let s1, s2 = fa64 c1 c2 c3 in
+    [| s0; s1; s2 |]
+  | Dp_tech.Cell_kind.C73 ->
+    let s, c1 = fa64 (v 0) (v 1) (v 2) in
+    let u, c2 = fa64 (v 3) (v 4) (v 5) in
+    let s0, c3 = fa64 s u (v 6) in
+    let s1, s2 = fa64 c1 c2 c3 in
+    [| s0; s1; s2 |]
+  | Dp_tech.Cell_kind.C42 ->
+    let u, cout = fa64 (v 0) (v 1) (v 2) in
+    let sum, carry = fa64 u (v 3) (v 4) in
+    [| sum; carry; cout |]
   | Dp_tech.Cell_kind.And_n n ->
     let acc = ref Int64.minus_one in
     for i = 0 to n - 1 do

@@ -11,6 +11,22 @@ let cell_outputs (c : Netlist.cell) values =
   | Dp_tech.Cell_kind.Ha ->
     let a = v 0 and b = v 1 in
     [| a <> b; a && b |]
+  | Dp_tech.Cell_kind.C53 | Dp_tech.Cell_kind.C63 | Dp_tech.Cell_kind.C73 ->
+    (* arithmetic semantics: output the binary digits of the popcount;
+       [Bitsim] evaluates the certified boolean recipes instead, so the
+       two simulators cross-check the counter bodies *)
+    let n = ref 0 in
+    for i = 0 to Array.length c.inputs - 1 do
+      if v i then incr n
+    done;
+    [| !n land 1 = 1; (!n lsr 1) land 1 = 1; (!n lsr 2) land 1 = 1 |]
+  | Dp_tech.Cell_kind.C42 ->
+    let x0 = v 0 and x1 = v 1 and x2 = v 2 and x3 = v 3 and ci = v 4 in
+    let t = x0 <> x1 <> x2 in
+    let cout = (x0 && x1) || (x0 && x2) || (x1 && x2) in
+    let sum = t <> x3 <> ci in
+    let carry = (t && x3) || (t && ci) || (x3 && ci) in
+    [| sum; carry; cout |]
   | Dp_tech.Cell_kind.And_n n ->
     let acc = ref true in
     for i = 0 to n - 1 do

@@ -1,6 +1,10 @@
 type t =
   | Fa
   | Ha
+  | C42
+  | C53
+  | C63
+  | C73
   | And_n of int
   | Or_n of int
   | Xor_n of int
@@ -9,23 +13,40 @@ type t =
 
 let equal a b =
   match a, b with
-  | Fa, Fa | Ha, Ha | Not, Not | Buf, Buf -> true
+  | Fa, Fa | Ha, Ha | C42, C42 | C53, C53 | C63, C63 | C73, C73
+  | Not, Not | Buf, Buf ->
+    true
   | And_n n, And_n m | Or_n n, Or_n m | Xor_n n, Xor_n m -> n = m
-  | (Fa | Ha | And_n _ | Or_n _ | Xor_n _ | Not | Buf), _ -> false
+  | (Fa | Ha | C42 | C53 | C63 | C73 | And_n _ | Or_n _ | Xor_n _ | Not | Buf), _
+    ->
+    false
 
 let arity = function
   | Fa -> 3
   | Ha -> 2
+  | C42 -> 5 (* x1..x4 on pins 0-3, cin on pin 4 *)
+  | C53 -> 5
+  | C63 -> 6
+  | C73 -> 7
   | And_n n | Or_n n | Xor_n n -> n
   | Not | Buf -> 1
 
 let output_count = function
   | Fa | Ha -> 2
+  | C42 | C53 | C63 | C73 -> 3
   | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> 1
+
+let is_counter = function
+  | C42 | C53 | C63 | C73 -> true
+  | Fa | Ha | And_n _ | Or_n _ | Xor_n _ | Not | Buf -> false
 
 let name = function
   | Fa -> "FA"
   | Ha -> "HA"
+  | C42 -> "C42"
+  | C53 -> "C53"
+  | C63 -> "C63"
+  | C73 -> "C73"
   | And_n n -> Printf.sprintf "AND%d" n
   | Or_n n -> Printf.sprintf "OR%d" n
   | Xor_n n -> Printf.sprintf "XOR%d" n

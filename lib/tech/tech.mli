@@ -30,6 +30,14 @@ type t = {
   ha_sum_energy : float;
   ha_carry_energy : float;
   gate_energy : float;  (** Energy of one transition of any plain gate. *)
+  counter_fusion : float;
+      (** Speed ratio (0 < f <= 1) of a monolithic parallel-counter cell
+          against its FA/HA-composed reference body: every counter
+          pin-to-port delay is the certified body's path delay times this
+          factor.  Models the fused cell's shorter internal paths (a
+          dedicated 4:2/7:3 layout avoids the full rail-to-rail swing of
+          two cascaded FAs); 1.0 means counters are priced exactly as
+          their discrete bodies. *)
 }
 
 val lcb_like : t
@@ -37,8 +45,21 @@ val unit_delay : t
 
 (** [delay t kind ~port] is the pin-to-pin delay of output [port] of a cell
     of [kind].  Wide n-ary gates are priced as balanced trees of 2-input
-    gates.  @raise Invalid_argument on a nonexistent port. *)
+    gates.  For the parallel counters this is the worst case over input
+    pins; use {!pin_delay} for the pin-resolved model.
+    @raise Invalid_argument on a nonexistent port. *)
 val delay : t -> Cell_kind.t -> port:int -> float
+
+(** [pin_delay t kind ~pin ~port] is the delay from input [pin] to output
+    [port], or [None] when the pin has no combinational path to that port
+    (the 4:2 compressor's carry-out is independent of its pins 3 and 4).
+    Conventional cells report [Some (delay t kind ~port)] for every pin.
+    Counter delays are path sums of FA/HA block delays through the
+    canonical exactly-synthesized bodies of [Dp_counters], scaled by
+    [counter_fusion]; [Dp_counters.Certify] holds these closed forms to
+    the recipe-derived model for every technology it admits.
+    @raise Invalid_argument on a nonexistent port. *)
+val pin_delay : t -> Cell_kind.t -> pin:int -> port:int -> float option
 
 val area : t -> Cell_kind.t -> float
 

@@ -43,6 +43,7 @@ let apply (t : Tech.t) key value =
   | "ha_sum_energy" -> { t with ha_sum_energy = f () }
   | "ha_carry_energy" -> { t with ha_carry_energy = f () }
   | "gate_energy" -> { t with gate_energy = f () }
+  | "counter_fusion" -> { t with counter_fusion = f () }
   | _ -> fail "unknown key: %s" key
 
 let validate (t : Tech.t) =
@@ -55,6 +56,8 @@ let validate (t : Tech.t) =
   nonneg "ha_area" t.ha_area;
   nonneg "fa_sum_energy" t.fa_sum_energy;
   nonneg "fa_carry_energy" t.fa_carry_energy;
+  if not (t.counter_fusion > 0.0 && t.counter_fusion <= 1.0) then
+    fail "counter_fusion must be in (0, 1] (got %g)" t.counter_fusion;
   t
 
 let of_string ?(base = Tech.lcb_like) s =
@@ -128,5 +131,6 @@ let to_string (t : Tech.t) =
       Printf.sprintf "ha_sum_energy %.17g" t.ha_sum_energy;
       Printf.sprintf "ha_carry_energy %.17g" t.ha_carry_energy;
       Printf.sprintf "gate_energy %.17g" t.gate_energy;
+      Printf.sprintf "counter_fusion %.17g" t.counter_fusion;
     ]
   ^ "\n"

@@ -15,12 +15,19 @@ let arrivals netlist =
       arrival.(net) <- Netlist.arrival netlist net
     | Netlist.From_cell { cell; port } ->
       let c = Netlist.cell netlist cell in
-      let max_in =
-        Array.fold_left
-          (fun acc input -> Float.max acc arrival.(input))
-          neg_infinity c.inputs
-      in
-      arrival.(net) <- max_in +. Dp_tech.Tech.delay tech c.kind ~port
+      (* Pin-resolved: worst over the pins with a path to this port.  For
+         conventional cells every pin reaches every port with the port's
+         one delay, so this equals max-input-arrival + delay; for the
+         counters it prices each pin's path through the certified body
+         (and skips e.g. the 4:2 carry-out's dead cin pin). *)
+      let worst = ref neg_infinity in
+      Array.iteri
+        (fun pin input ->
+          match Dp_tech.Tech.pin_delay tech c.kind ~pin ~port with
+          | Some d -> worst := Float.max !worst (arrival.(input) +. d)
+          | None -> ())
+        c.inputs;
+      arrival.(net) <- !worst
   done;
   arrival
 

@@ -8,6 +8,8 @@ type mutation =
   | Forward_input
   | Duplicate_driver
   | Dangling_input
+  | Counter_retype
+  | Counter_chain
 
 let all =
   [
@@ -18,6 +20,8 @@ let all =
     Forward_input;
     Duplicate_driver;
     Dangling_input;
+    Counter_retype;
+    Counter_chain;
   ]
 
 let name = function
@@ -28,6 +32,8 @@ let name = function
   | Forward_input -> "forward-input"
   | Duplicate_driver -> "duplicate-driver"
   | Dangling_input -> "dangling-input"
+  | Counter_retype -> "counter-retype"
+  | Counter_chain -> "counter-chain"
 
 let expected_rule = function
   | Rewire_input -> None
@@ -37,6 +43,8 @@ let expected_rule = function
   | Forward_input -> Some Lint.Topo_violation
   | Duplicate_driver -> Some Lint.Multiply_driven
   | Dangling_input -> Some Lint.Dangling_ref
+  | Counter_retype -> None
+  | Counter_chain -> None
 
 let pick rng = function
   | [] -> None
@@ -160,3 +168,56 @@ let apply ?(seed = 0) nl mutation =
         Printf.sprintf "cell %d pin %d now references nonexistent net %d" c pin
           target)
       (pick rng (wired_cells nl))
+  | Counter_retype ->
+    (* 4:2 compressors and 5:3 counters share arity and output count, so
+       swapping the kind keeps every structural invariant — only the
+       per-port functions (and the output weights they assume) change. *)
+    let sites =
+      List.filter
+        (fun c ->
+          match (Netlist.cell nl c).kind with
+          | Dp_tech.Cell_kind.C42 | Dp_tech.Cell_kind.C53 -> true
+          | _ -> false)
+        (wired_cells nl)
+    in
+    Option.map
+      (fun c ->
+        let cell = Netlist.cell nl c in
+        let kind' =
+          match cell.kind with
+          | Dp_tech.Cell_kind.C42 -> Dp_tech.Cell_kind.C53
+          | _ -> Dp_tech.Cell_kind.C42
+        in
+        Netlist.Mutate.set_cell nl c { cell with kind = kind' };
+        Printf.sprintf "retyped counter cell %d from %s to %s" c
+          (Dp_tech.Cell_kind.name cell.kind)
+          (Dp_tech.Cell_kind.name kind'))
+      (pick rng sites)
+  | Counter_chain ->
+    (* Rewire a compressor's cin (pin 4, the carry-chain pin) onto one of
+       its own data pins: the chain net is lost but the wiring stays
+       legal, so only equivalence checking can see the corruption. *)
+    let sites =
+      List.filter_map
+        (fun c ->
+          let cell = Netlist.cell nl c in
+          if cell.kind <> Dp_tech.Cell_kind.C42 then None
+          else
+            let cin = cell.inputs.(4) in
+            match
+              List.filter (fun p -> cell.inputs.(p) <> cin) [ 0; 1; 2; 3 ]
+            with
+            | [] -> None
+            | pins -> Some (c, cin, pins))
+        (wired_cells nl)
+    in
+    Option.map
+      (fun (c, cin, pins) ->
+        let pin = Option.get (pick rng pins) in
+        let src = (Netlist.cell nl c).inputs.(pin) in
+        Netlist.Mutate.set_cell_input nl ~cell:c ~pin:4 src;
+        Printf.sprintf
+          "corrupted counter cell %d carry chain: cin net %d replaced by its \
+           own data net %d"
+          c cin src)
+      (pick rng sites)

@@ -32,12 +32,21 @@ type mutation =
   | Dangling_input
       (** point a cell input past the end of the net table — caught by
           [Dangling_ref] *)
+  | Counter_retype
+      (** swap a 4:2 compressor for an arity-matched 5:3 counter body (or
+          vice versa) — structure stays legal, the per-port functions and
+          output weights change; only equivalence checking can catch it *)
+  | Counter_chain
+      (** rewire a 4:2 compressor's carry-chain input (cin, pin 4) onto
+          one of its own data pins — the chained carry-out is lost but the
+          wiring stays legal; caught only by equivalence checking *)
 
 val all : mutation list
 val name : mutation -> string
 
 (** The lint rule expected to fire, or [None] for the purely semantic
-    {!Rewire_input} (whose detector is equivalence checking). *)
+    classes — {!Rewire_input}, {!Counter_retype}, {!Counter_chain} —
+    whose detector is equivalence checking. *)
 val expected_rule : mutation -> Lint.rule option
 
 (** [apply ~seed nl m] picks a site with a [seed]-derived generator and

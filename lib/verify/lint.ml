@@ -91,7 +91,7 @@ let run nl =
       if n < 2 then
         add Arity_violation (Cell c) "%s: n-ary gate with n = %d < 2"
           (Dp_tech.Cell_kind.name kind) n
-    | Fa | Ha | Not | Buf -> ());
+    | Fa | Ha | C42 | C53 | C63 | C73 | Not | Buf -> ());
     let out_count = Dp_tech.Cell_kind.output_count kind in
     if Array.length outs <> out_count then
       add Arity_violation (Cell c) "%s has %d output nets, expected %d"

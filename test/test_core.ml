@@ -271,9 +271,10 @@ let sc_lp_energy netlist ~ws ~wc =
         let outs = Netlist.cell_output_nets netlist id in
         let act port = Dp_power.Switching.net_activity netlist outs.(port) in
         total := !total +. (ws *. act 0) +. (wc *. act 1)
-      | Dp_tech.Cell_kind.And_n _ | Dp_tech.Cell_kind.Or_n _
-      | Dp_tech.Cell_kind.Xor_n _ | Dp_tech.Cell_kind.Not
-      | Dp_tech.Cell_kind.Buf -> ())
+      | Dp_tech.Cell_kind.C42 | Dp_tech.Cell_kind.C53 | Dp_tech.Cell_kind.C63
+      | Dp_tech.Cell_kind.C73 | Dp_tech.Cell_kind.And_n _
+      | Dp_tech.Cell_kind.Or_n _ | Dp_tech.Cell_kind.Xor_n _
+      | Dp_tech.Cell_kind.Not | Dp_tech.Cell_kind.Buf -> ())
     netlist;
   !total
 

@@ -1,0 +1,286 @@
+open Dp_netlist
+open Dp_core
+open Dp_counters
+open Helpers
+
+let kind_name = Dp_tech.Cell_kind.name
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic spec: the defining popcount invariant *)
+
+let test_spec_popcount_invariant () =
+  List.iter
+    (fun k ->
+      let m = Spec.arity k in
+      for v = 0 to (1 lsl m) - 1 do
+        checki
+          (Fmt.str "%s weighted value on %d" (kind_name k) v)
+          (Spec.popcount v) (Spec.weighted_value k v)
+      done)
+    Spec.kinds
+
+(* ------------------------------------------------------------------ *)
+(* Exact synthesis: every body matches the spec on all 2^m assignments *)
+
+let test_body_exhaustive () =
+  List.iter
+    (fun k ->
+      let r = Exact.recipe k in
+      let m = Spec.arity k in
+      for v = 0 to (1 lsl m) - 1 do
+        for port = 0 to 2 do
+          checkb
+            (Fmt.str "%s port %d on %d" (kind_name k) port v)
+            (Spec.port_value k ~port v)
+            (Body.port_value r ~port v)
+        done
+      done)
+    Spec.kinds
+
+(* The search is deterministic and the memo cache returns the same recipe
+   as a from-scratch run — synthesis results cannot drift within or
+   across processes. *)
+let test_exact_deterministic () =
+  List.iter
+    (fun k ->
+      let a = Exact.synthesize k in
+      let b = Exact.synthesize k in
+      checkb (Fmt.str "%s: repeat searches agree" (kind_name k)) true (a = b);
+      checkb
+        (Fmt.str "%s: memo cache agrees with fresh search" (kind_name k))
+        true
+        (Exact.recipe k = a))
+    Spec.kinds
+
+(* Known-minimal costs, locked as a regression: a search change that
+   finds a bigger (or deeper) body must fail loudly. *)
+let test_exact_costs () =
+  List.iter
+    (fun (k, fa, ha, depth) ->
+      let r = Exact.recipe k in
+      checki (Fmt.str "%s FA count" (kind_name k)) fa (Exact.fa_count r);
+      checki (Fmt.str "%s HA count" (kind_name k)) ha (Exact.ha_count r);
+      checki
+        (Fmt.str "%s area units" (kind_name k))
+        ((2 * fa) + ha)
+        (Exact.area_units r);
+      checki (Fmt.str "%s depth" (kind_name k)) depth (Exact.depth r))
+    [
+      (Dp_tech.Cell_kind.C42, 2, 0, 2);
+      (Dp_tech.Cell_kind.C53, 2, 1, 3);
+      (Dp_tech.Cell_kind.C63, 3, 1, 3);
+      (Dp_tech.Cell_kind.C73, 4, 0, 3);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Monolithic cell vs expanded body: exhaustive netlist equivalence *)
+
+let cell_builder = function
+  | Dp_tech.Cell_kind.C53 -> Netlist.c53
+  | Dp_tech.Cell_kind.C63 -> Netlist.c63
+  | Dp_tech.Cell_kind.C73 -> Netlist.c73
+  | Dp_tech.Cell_kind.C42 -> Netlist.c42
+  | k -> Alcotest.failf "not a counter: %s" (kind_name k)
+
+let test_cell_matches_expanded_body () =
+  List.iter
+    (fun k ->
+      let m = Spec.arity k in
+      let nl = mk_netlist () in
+      let pins = Netlist.add_input nl "p" ~width:m in
+      let s0, s1, s2 = (cell_builder k) nl pins in
+      let b0, b1, b2 = Body.expand nl (Exact.recipe k) pins in
+      Netlist.set_output nl "cell" [| s0; s1; s2 |];
+      Netlist.set_output nl "body" [| b0; b1; b2 |];
+      for v = 0 to (1 lsl m) - 1 do
+        let values = Dp_sim.Simulator.run nl ~assign:(fun _ -> v) in
+        checki
+          (Fmt.str "%s cell = body on %d" (kind_name k) v)
+          (Dp_sim.Simulator.output_value nl values "body")
+          (Dp_sim.Simulator.output_value nl values "cell")
+      done)
+    Spec.kinds
+
+(* ------------------------------------------------------------------ *)
+(* Certification and the closed-form delay/energy models *)
+
+let techs = [ Dp_tech.Tech.lcb_like; Dp_tech.Tech.unit_delay ]
+
+let test_certify_passes () =
+  List.iter
+    (fun tech ->
+      Certify.ensure tech;
+      (* second call hits the per-technology memo *)
+      Certify.ensure tech)
+    techs
+
+(* The technology's monolithic closed forms must equal the recipe-derived
+   model on every (pin, port) pair, including path absence — this is the
+   contract Certify enforces; assert it directly so a drift is pinned to
+   the exact pin. *)
+let test_closed_forms_match_model () =
+  List.iter
+    (fun tech ->
+      List.iter
+        (fun k ->
+          let r = Exact.recipe k in
+          for pin = 0 to Spec.arity k - 1 do
+            for port = 0 to 2 do
+              let label =
+                Fmt.str "%s %s pin %d port %d" tech.Dp_tech.Tech.name
+                  (kind_name k) pin port
+              in
+              match
+                ( Dp_tech.Tech.pin_delay tech k ~pin ~port,
+                  Model.pin_delay tech r ~pin ~port )
+              with
+              | None, None -> ()
+              | Some a, Some b -> checkf label b a
+              | Some _, None -> Alcotest.failf "%s: closed form invents a path" label
+              | None, Some _ -> Alcotest.failf "%s: closed form misses a path" label
+            done
+          done)
+        Spec.kinds)
+    techs
+
+(* ------------------------------------------------------------------ *)
+(* GPC column reduction: heap and sort-per-step reference make identical
+   decisions (same counters, same FA/HA order, same carries) *)
+
+let cell_trace nl =
+  let acc = ref [] in
+  Netlist.iter_cells
+    (fun id (c : Netlist.cell) ->
+      acc := (id, c.kind, Array.to_list c.inputs) :: !acc)
+    nl;
+  List.rev !acc
+
+let run_column ?probs arrivals f =
+  let nl = mk_netlist () in
+  let col = mk_column ?probs nl arrivals in
+  let kept, ones, twos = f nl col in
+  (kept, ones, twos, cell_trace nl)
+
+let check_identical label ?probs arrivals heap reference =
+  let a = run_column ?probs arrivals heap in
+  let b = run_column ?probs arrivals reference in
+  checkb label true (a = b)
+
+(* Eleven near-simultaneous bits (one 7:3 counter plus FA/HA fill) and
+   two stragglers outside the SC_T cohort. *)
+let spread_arrivals =
+  [| 0.0; 0.1; 0.2; 0.3; 0.05; 0.15; 0.25; 0.35; 0.12; 0.18; 0.22; 2.0; 2.2 |]
+
+let spread_probs =
+  [| 0.5; 0.1; 0.9; 0.5; 0.3; 0.7; 0.5; 0.2; 0.8; 0.4; 0.6; 0.5; 0.5 |]
+
+let test_gpc_heap_vs_reference_fixed () =
+  List.iter
+    (fun tb ->
+      check_identical "sc_t_gpc column" ~probs:spread_probs spread_arrivals
+        (fun nl col -> Gpc.reduce_column_t ~tie_break:tb nl col)
+        (fun nl col -> Gpc.reduce_column_t_reference ~tie_break:tb nl col))
+    [ Sc_t.Arrival_only; Sc_t.Prefer_high_q ];
+  List.iter
+    (fun tb ->
+      check_identical "sc_lp_gpc column" ~probs:spread_probs spread_arrivals
+        (fun nl col -> Gpc.reduce_column_lp ~tie_break:tb nl col)
+        (fun nl col -> Gpc.reduce_column_lp_reference ~tie_break:tb nl col))
+    [ Sc_lp.Q_only; Sc_lp.Prefer_early ]
+
+let test_gpc_heap_vs_reference_random () =
+  let rng = Random.State.make [| 0xC7 |] in
+  for case = 0 to 39 do
+    let n = 3 + Random.State.int rng 14 in
+    let arrivals =
+      Array.init n (fun _ -> Float.of_int (Random.State.int rng 12) /. 8.0)
+    in
+    let probs =
+      Array.init n (fun _ ->
+          Float.of_int (Random.State.int rng 101) /. 100.0)
+    in
+    List.iter
+      (fun tb ->
+        check_identical
+          (Fmt.str "random column %d (t)" case)
+          ~probs arrivals
+          (fun nl col -> Gpc.reduce_column_t ~tie_break:tb nl col)
+          (fun nl col -> Gpc.reduce_column_t_reference ~tie_break:tb nl col))
+      [ Sc_t.Arrival_only; Sc_t.Prefer_high_q ];
+    List.iter
+      (fun tb ->
+        check_identical
+          (Fmt.str "random column %d (lp)" case)
+          ~probs arrivals
+          (fun nl col -> Gpc.reduce_column_lp ~tie_break:tb nl col)
+          (fun nl col -> Gpc.reduce_column_lp_reference ~tie_break:tb nl col))
+      [ Sc_lp.Q_only; Sc_lp.Prefer_early ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Whole-flow determinism: two runs of a counter strategy emit the same
+   netlist bit for bit, and the tree really does contain counters *)
+
+let env = Dp_expr.Env.of_widths [ ("x", 5); ("y", 4); ("z", 6) ]
+let expr = Dp_expr.Parse.expr "x*y + y*z + z*x + 9"
+
+let test_gpc_run_deterministic () =
+  List.iter
+    (fun strategy ->
+      let a = Dp_flow.Synth.run strategy env expr in
+      let b = Dp_flow.Synth.run strategy env expr in
+      check Alcotest.string
+        (Dp_flow.Strategy.name strategy ^ " deterministic")
+        (Verilog.emit a.netlist) (Verilog.emit b.netlist);
+      checkb
+        (Dp_flow.Strategy.name strategy ^ " places counters")
+        true
+        ((Stats.of_netlist a.netlist).Stats.counter_count > 0))
+    [
+      Dp_flow.Strategy.Sc_t_gpc;
+      Dp_flow.Strategy.Sc_lp_gpc;
+      Dp_flow.Strategy.Dadda_gpc;
+    ]
+
+(* Every counter strategy is exhaustively equivalent to the source
+   expression on a small design (all 2^9 assignments). *)
+let small_env = Dp_expr.Env.of_widths [ ("a", 3); ("b", 3); ("c", 3) ]
+let small_expr = Dp_expr.Parse.expr "a*b + b*c + c*a + 5"
+
+let test_gpc_exhaustive_equivalence () =
+  List.iter
+    (fun strategy ->
+      let r = Dp_flow.Synth.run strategy small_env small_expr in
+      match
+        Dp_sim.Equiv.check_exhaustive r.netlist small_expr ~output:"out"
+          ~width:r.width
+      with
+      | Ok () -> ()
+      | Error m ->
+        Alcotest.failf "%s: %a"
+          (Dp_flow.Strategy.name strategy)
+          Dp_sim.Equiv.pp_mismatch m)
+    [
+      Dp_flow.Strategy.Sc_t_gpc;
+      Dp_flow.Strategy.Sc_lp_gpc;
+      Dp_flow.Strategy.Dadda_gpc;
+    ]
+
+let suite =
+  [
+    case "spec: weighted ports equal popcount" test_spec_popcount_invariant;
+    case "exact: bodies match spec on all 2^m inputs" test_body_exhaustive;
+    case "exact: search and memo cache deterministic" test_exact_deterministic;
+    case "exact: minimal costs locked" test_exact_costs;
+    case "cell: monolithic equals expanded body" test_cell_matches_expanded_body;
+    case "certify: lcb_like and unit_delay pass" test_certify_passes;
+    case "model: closed forms equal recipe model" test_closed_forms_match_model;
+    case "gpc: heap equals reference (fixed column)"
+      test_gpc_heap_vs_reference_fixed;
+    case "gpc: heap equals reference (random columns)"
+      test_gpc_heap_vs_reference_random;
+    case "gpc: strategies deterministic and place counters"
+      test_gpc_run_deterministic;
+    case "gpc: exhaustive equivalence on a small design"
+      test_gpc_exhaustive_equivalence;
+  ]

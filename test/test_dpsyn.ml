@@ -6,6 +6,7 @@ let () =
       ("netlist", Test_netlist.suite);
       ("matrix", Test_matrix.suite);
       ("core", Test_core.suite);
+      ("counters", Test_counters.suite);
       ("timing", Test_timing.suite);
       ("power", Test_power.suite);
       ("sim", Test_sim.suite);

@@ -128,7 +128,9 @@ let test_squarer_folding () =
       (fun acc (c : Netlist.cell) ->
         match c.kind with
         | Dp_tech.Cell_kind.And_n _ -> acc + 1
-        | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.Or_n _
+        | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.C42
+        | Dp_tech.Cell_kind.C53 | Dp_tech.Cell_kind.C63
+        | Dp_tech.Cell_kind.C73 | Dp_tech.Cell_kind.Or_n _
         | Dp_tech.Cell_kind.Xor_n _ | Dp_tech.Cell_kind.Not
         | Dp_tech.Cell_kind.Buf -> acc)
       0 n
@@ -174,7 +176,9 @@ let test_partial_products_shared () =
       (fun acc (c : Netlist.cell) ->
         match c.kind with
         | Dp_tech.Cell_kind.And_n _ -> acc + 1
-        | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.Or_n _
+        | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha | Dp_tech.Cell_kind.C42
+        | Dp_tech.Cell_kind.C53 | Dp_tech.Cell_kind.C63
+        | Dp_tech.Cell_kind.C73 | Dp_tech.Cell_kind.Or_n _
         | Dp_tech.Cell_kind.Xor_n _ | Dp_tech.Cell_kind.Not
         | Dp_tech.Cell_kind.Buf -> acc)
       0 n

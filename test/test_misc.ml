@@ -136,8 +136,47 @@ let test_sc_lp_tie_break_prefers_early () =
   checkb "t=5 survives" true
     (List.exists (fun net -> Netlist.arrival n net = 5.0) kept)
 
+(* The compare table must stay aligned when a strategy name (e.g. the
+   *_GPC family) is longer than the header or any neighbour: every
+   rendered line has the same length and the first column is as wide as
+   the longest name. *)
+let test_report_table_aligns_long_names () =
+  let rows =
+    List.map
+      (fun s ->
+        [ Dp_flow.Strategy.name s; "9.99 ns"; "123"; "4"; "5"; "6.789" ])
+      Dp_flow.Strategy.all
+  in
+  let rows = [ "a"; "1"; "2"; "3"; "4"; "5" ] :: rows in
+  let rendered =
+    Dp_flow.Report.table
+      ~header:[ "strategy"; "delay"; "area"; "FA"; "HA"; "E(tree)" ]
+      ~rows
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' rendered)
+  in
+  let widths = List.map String.length lines in
+  checkb "all lines equal length" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  let longest =
+    List.fold_left
+      (fun acc s -> max acc (String.length (Dp_flow.Strategy.name s)))
+      (String.length "strategy")
+      Dp_flow.Strategy.all
+  in
+  List.iter
+    (fun line ->
+      checkb "second column starts after the longest name" true
+        (String.length line > longest + 2
+        && String.sub line longest 2 = "  "
+           || String.length (String.trim line) = 0))
+    lines
+
 let suite =
   [
+    case "report table aligns long strategy names"
+      test_report_table_aligns_long_names;
     case "dadda: no more compressors than wallace" test_dadda_minimality_on_multiplier;
     case "dadda: 40-addend column" test_dadda_single_column_tall;
     case "column isolation prefers input addends" test_column_isolation_prefers_inputs;

@@ -95,6 +95,8 @@ let test_signed_msb_complemented_in_lowering () =
           match (Dp_netlist.Netlist.cell n cell).kind with
           | Dp_tech.Cell_kind.Not -> has_not := true
           | Dp_tech.Cell_kind.Fa | Dp_tech.Cell_kind.Ha
+          | Dp_tech.Cell_kind.C42 | Dp_tech.Cell_kind.C53
+          | Dp_tech.Cell_kind.C63 | Dp_tech.Cell_kind.C73
           | Dp_tech.Cell_kind.And_n _ | Dp_tech.Cell_kind.Or_n _
           | Dp_tech.Cell_kind.Xor_n _ | Dp_tech.Cell_kind.Buf -> ())
         | Dp_netlist.Netlist.From_input _ | Dp_netlist.Netlist.From_const _ -> ())

@@ -73,11 +73,18 @@ let test_strict_gate_passes_every_strategy () =
 
 let victim_expr = Dp_expr.Parse.expr "x*y + z"
 let fresh () = Synth.run Strategy.Fa_aot env victim_expr
+
+(* Counter-cell faults need a victim whose reduction tree actually holds
+   compressors: the 4:2 Dadda tree over a three-product sum is tall
+   enough that every stage places C42 cells. *)
+let counter_victim_expr = Dp_expr.Parse.expr "x*y + y*z + z*x"
+let fresh_gpc () = Synth.run Strategy.Dadda_gpc env counter_victim_expr
 let seeds = [ 0; 1; 2; 3; 4 ]
 
 let has_rule rule findings = List.exists (fun f -> f.Lint.rule = rule) findings
 
-let test_inject_detected (m : Inject.mutation) () =
+let test_inject_detected_on (fresh : unit -> Synth.result) expr
+    (m : Inject.mutation) () =
   List.iter
     (fun seed ->
       let r = fresh () in
@@ -98,17 +105,26 @@ let test_inject_detected (m : Inject.mutation) () =
           | f :: _ ->
             Alcotest.failf "%s (%s): unexpectedly structural: %a"
               (Inject.name m) descr Lint.pp_finding f);
-          match Synth.verify ~trials:500 r victim_expr with
+          match Synth.verify ~trials:500 r expr with
           | Error _ -> ()
           | Ok () ->
             Alcotest.failf "%s (%s): equivalence check did not notice"
               (Inject.name m) descr)))
     seeds
 
+let test_inject_detected = test_inject_detected_on fresh victim_expr
+
+let test_inject_counter_detected =
+  test_inject_detected_on fresh_gpc counter_victim_expr
+
 let test_every_mutation_applicable () =
   List.iter
     (fun m ->
-      let r = fresh () in
+      let r =
+        match m with
+        | Inject.Counter_retype | Inject.Counter_chain -> fresh_gpc ()
+        | _ -> fresh ()
+      in
       match Inject.apply ~seed:11 r.netlist m with
       | Some _ -> ()
       | None -> Alcotest.failf "%s inapplicable" (Inject.name m))
@@ -236,6 +252,10 @@ let suite =
       (test_inject_detected Inject.Duplicate_driver);
     case "inject: dangling-input caught"
       (test_inject_detected Inject.Dangling_input);
+    case "inject: counter-retype caught"
+      (test_inject_counter_detected Inject.Counter_retype);
+    case "inject: counter-chain caught"
+      (test_inject_counter_detected Inject.Counter_chain);
     case "inject: every class has a site" test_every_mutation_applicable;
     case "lint: empty output port" test_lint_flags_empty_outputs;
     case "lint: probability out of range" test_lint_flags_bad_prob;
