@@ -899,6 +899,107 @@ let speed_case_meta () =
         ("p99_ms", Json.Num r.p99_ms);
       ]
   in
+  (* The durability loop end to end: the journaled sharded topology with
+     the fault pacer SIGKILLing the router mid-flight.  Every restart
+     replays the journal and reattaches to the still-live shards, so the
+     interesting numbers are the replay/reattach counts and the
+     SIGKILL -> answers-again recovery latency — with correctness
+     (wrong_answers, violations, diverges) pinned at zero. *)
+  let journaled_soak_case name =
+    let fresh tag =
+      let path = Filename.temp_file "dpsyn-bench" tag in
+      Sys.remove path;
+      path
+    in
+    let r =
+      Dp_server.Soak.run
+        {
+          (Dp_server.Soak.default_config ~socket_path:(fresh ".sock")) with
+          Dp_server.Soak.clients = 3;
+          (* long enough in flight for the wall-clock pacer to land
+             router kills even against a warm cache *)
+          requests_per_client = (if !quick then 100 else 200);
+          seed = 11;
+          shards = 2;
+          journal_dir = Some (fresh ".journal");
+          router_chaos =
+            Some
+              {
+                Dp_server.Chaos.default_config with
+                seed = 11;
+                every = 2;
+                faults = Dp_server.Chaos.router_faults;
+              };
+          cache_dir = Some (fresh ".cache");
+        }
+    in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("requests", Json.Int r.requests);
+        ("ok", Json.Int r.ok);
+        ("typed_errors", Json.Int r.typed_errors);
+        ("wrong_answers", Json.Int r.wrong_answers);
+        ("violations", Json.Int r.violations);
+        ("diverges", Json.Int r.diverges);
+        ("router_kills", Json.Int r.router_kills);
+        ("router_restarts", Json.Int r.router_restarts);
+        ("replays", Json.Int r.replays);
+        ("shard_reattaches", Json.Int r.shard_reattaches);
+        ("recovery_ms", Json.Num r.recovery_ms);
+        ("requests_per_s", Json.Num r.throughput_rps);
+        ("p99_ms", Json.Num r.p99_ms);
+      ]
+  in
+  (* Hedged dispatch under induced tail latency: net chaos delays shard
+     responses, the router duplicates slow requests to the next shard,
+     and the p99 plus the fired/win counts price the tail-cutting.
+     Divergences must stay zero — a hedge may never change an answer. *)
+  let hedged_soak_case name =
+    let fresh tag =
+      let path = Filename.temp_file "dpsyn-bench" tag in
+      Sys.remove path;
+      path
+    in
+    let r =
+      Dp_server.Soak.run
+        {
+          (Dp_server.Soak.default_config ~socket_path:(fresh ".sock")) with
+          Dp_server.Soak.clients = 3;
+          requests_per_client = (if !quick then 30 else 60);
+          seed = 11;
+          shards = 3;
+          hedge = true;
+          (* a ~4% tail of 200 ms delays: rare enough that the hedge
+             timer's adaptive p95 stays at its 25 ms clamp (a fat tail
+             would teach the timer to wait out the delay instead) *)
+          chaos =
+            Some
+              {
+                Dp_server.Chaos.seed = 11;
+                every = 24;
+                slow_s = 0.2;
+                faults = [ Dp_server.Chaos.Delay_response ];
+              };
+          cache_dir = Some (fresh ".cache");
+        }
+    in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("requests", Json.Int r.requests);
+        ("ok", Json.Int r.ok);
+        ("typed_errors", Json.Int r.typed_errors);
+        ("wrong_answers", Json.Int r.wrong_answers);
+        ("violations", Json.Int r.violations);
+        ("diverges", Json.Int r.diverges);
+        ("hedges_fired", Json.Int r.hedges_fired);
+        ("hedge_wins", Json.Int r.hedge_wins);
+        ("requests_per_s", Json.Num r.throughput_rps);
+        ("p50_ms", Json.Num r.p50_ms);
+        ("p99_ms", Json.Num r.p99_ms);
+      ]
+  in
   [
     column_case "reduce/sc_t_n64" 64 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
     column_case "reduce/sc_t_n256" 256 (fun nl c -> ignore (Dp_core.Sc_t.reduce_column nl c));
@@ -927,6 +1028,8 @@ let speed_case_meta () =
     soak_case "soak/crypto_mem_chaos" ~chaos:true ~crypto:true ~mem:true;
     sharded_soak_case "soak/sharded_plain" ~kill:false;
     sharded_soak_case "soak/sharded_kill" ~kill:true;
+    journaled_soak_case "soak/router_kill_recovery";
+    hedged_soak_case "serve/hedged_p99";
   ]
 
 let bechamel_tests () =

@@ -848,6 +848,29 @@ let serve_cmd =
              router on SOCKET that fails over while a dead shard restarts. \
              0 or 1 = a single in-process server.")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Durable exactly-once serving (sharded only): journal every \
+             admitted request to DIR and record the shard fleet there, so \
+             a crashed router's next incarnation replays incomplete \
+             requests and reattaches to still-live shards instead of \
+             respawning them.")
+  in
+  let hedge_arg =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:
+            "Hedged dispatch (sharded only): duplicate a request that \
+             outlives the p95 of recent forward latencies to the next \
+             live shard; first answer wins, both are byte-compared \
+             (mismatch = DP-SRV-DIVERGE, never a silently picked \
+             answer).")
+  in
   (* The shard processes are real 'dpsyn serve' invocations, so the tech
      option stays a file *path* here — it must survive re-serialization
      into a shard's argv. *)
@@ -860,7 +883,8 @@ let serve_cmd =
   in
   let action socket shards workers queue_depth timeout max_cells max_rows
       mem_watermark_mb cache_dir capacity no_cache tech_file crash_dir
-      max_crashes cooldown guard chaos chaos_every chaos_seed =
+      max_crashes cooldown guard chaos chaos_every chaos_seed journal_dir
+      hedge =
     let mem_watermark_words =
       Option.map (fun mb -> mb * 1024 * 1024 / (Sys.word_size / 8))
         mem_watermark_mb
@@ -874,6 +898,17 @@ let serve_cmd =
         | Error d -> fail_diag d)
     in
     let log = fun msg -> Fmt.epr "dpsyn serve: %s@." msg in
+    if shards < 2 && (journal_dir <> None || hedge) then begin
+      Fmt.epr
+        "error: --journal and --hedge need the sharded topology \
+         (--shards >= 2)@.";
+      exit 1
+    end;
+    (* The shard state file lives in the journal directory, and the pool
+       writes it before the journal is opened — make the directory now. *)
+    (match journal_dir with
+    | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+    | _ -> ());
     if shards >= 2 then begin
       (* Shard argv: this same executable, serving one shard's socket
          with the same knobs.  Shards never shard further. *)
@@ -916,6 +951,10 @@ let serve_cmd =
                ~spawn:(Dp_server.Shard_pool.Spawn_exec shard_argv))
             with
             Dp_server.Shard_pool.log;
+            state_file =
+              Option.map
+                (fun d -> Filename.concat d "shards.json")
+                journal_dir;
           }
       in
       if not (Dp_server.Shard_pool.wait_all_up ~timeout_s:30.0 pool) then begin
@@ -923,6 +962,11 @@ let serve_cmd =
         Dp_server.Shard_pool.shutdown pool;
         exit 1
       end;
+      let journal =
+        Option.map
+          (fun dir -> Dp_server.Journal.open_ ~dir ~log ())
+          journal_dir
+      in
       match
         Dp_server.Router.run
           {
@@ -930,6 +974,8 @@ let serve_cmd =
             Dp_server.Router.tech;
             handle_signals = true;
             log;
+            journal;
+            hedge = (if hedge then Some Dp_server.Router.default_hedge else None);
           }
       with
       | () -> ()
@@ -992,7 +1038,8 @@ let serve_cmd =
       $ timeout_arg $ max_cells_arg $ max_rows_arg $ mem_watermark_arg
       $ cache_dir_arg $ capacity_arg $ no_cache_arg $ tech_file_arg
       $ crash_dir_arg $ max_crashes_arg $ cooldown_arg $ guard_arg
-      $ chaos_arg $ chaos_every_arg $ chaos_seed_arg)
+      $ chaos_arg $ chaos_every_arg $ chaos_seed_arg $ journal_arg
+      $ hedge_arg)
 
 (* Shared retry flags for the client-side commands. *)
 let retries_arg =
@@ -1013,11 +1060,21 @@ let attempt_timeout_arg =
     & info [ "attempt-timeout" ] ~docv:"SECONDS"
         ~doc:"Client-side timeout per attempt; 0 disables.")
 
-let retry_of ~retries ~attempt_timeout =
+let retry_seed_arg =
+  Arg.(
+    value
+    & opt int Dp_server.Client.default_retry.seed
+    & info [ "retry-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the retry loop's backoff-jitter PRNG, so a failing \
+           run's exact retry timing can be replayed.")
+
+let retry_of ~retries ~attempt_timeout ~retry_seed =
   {
     Dp_server.Client.default_retry with
     attempts = max 1 retries;
     per_attempt_timeout_s = attempt_timeout;
+    seed = retry_seed;
   }
 
 let client_cmd =
@@ -1049,7 +1106,7 @@ let client_cmd =
              within MS milliseconds.")
   in
   let action socket op expr vars width strategy adder recoding multiplier_style
-      check_level emit_verilog deadline_ms retries attempt_timeout =
+      check_level emit_verilog deadline_ms retries attempt_timeout retry_seed =
     let envelope =
       match op with
       | `Stats -> { Dp_server.Protocol.id = Dp_server.Json.Int 1; req = Stats }
@@ -1073,7 +1130,7 @@ let client_cmd =
     in
     match
       Dp_server.Client.call
-        ~retry:(retry_of ~retries ~attempt_timeout)
+        ~retry:(retry_of ~retries ~attempt_timeout ~retry_seed)
         ~socket
         (Dp_server.Protocol.request_to_json envelope)
     with
@@ -1091,7 +1148,8 @@ let client_cmd =
       const action $ socket_arg $ op_arg $ expr_opt $ vars_arg $ width_arg
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
       $ adder_arg $ recoding_arg $ multiplier_arg $ check_level_arg
-      $ emit_verilog_arg $ deadline_arg $ retries_arg $ attempt_timeout_arg)
+      $ emit_verilog_arg $ deadline_arg $ retries_arg $ attempt_timeout_arg
+      $ retry_seed_arg)
 
 let batch_cmd =
   let file_arg =
@@ -1139,7 +1197,8 @@ let batch_cmd =
         | Error d -> fail_diag_json d)
       Dp_designs.Catalog.all
   in
-  let action socket file designs summary strategy adder retries attempt_timeout =
+  let action socket file designs summary strategy adder retries attempt_timeout
+      retry_seed =
     let params =
       match (file, designs) with
       | Some path, false -> params_of_file path
@@ -1153,7 +1212,7 @@ let batch_cmd =
     in
     match
       Dp_server.Client.call
-        ~retry:(retry_of ~retries ~attempt_timeout)
+        ~retry:(retry_of ~retries ~attempt_timeout ~retry_seed)
         ~socket
         (Dp_server.Protocol.request_to_json envelope)
     with
@@ -1209,7 +1268,7 @@ let batch_cmd =
     Term.(
       const action $ socket_arg $ file_arg $ designs_arg $ summary_arg
       $ strategy_arg ~default:Dp_flow.Strategy.Fa_aot
-      $ adder_arg $ retries_arg $ attempt_timeout_arg)
+      $ adder_arg $ retries_arg $ attempt_timeout_arg $ retry_seed_arg)
 
 let soak_cmd =
   let clients_arg =
@@ -1316,9 +1375,53 @@ let soak_cmd =
       & info [ "shard-chaos-every" ] ~docv:"K"
           ~doc:"Inject a shard fault on every Kth pacer tick.")
   in
+  let net_chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "net-chaos" ]
+          ~doc:
+            "Add the network fault class (delayed responses, duplicated \
+             response lines, connections dropped mid-line) to the chaos \
+             schedule.  Implies --chaos.")
+  in
+  let journal_soak_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Soak the journaled topology: the router (owning the shard \
+             pool) runs in a child process, journaling every admitted \
+             request to DIR, so --router-chaos can SIGKILL and restart \
+             it mid-flight.  Requires --shards >= 2.")
+  in
+  let router_chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "router-chaos" ]
+          ~doc:
+            "Inject seeded router faults (SIGKILL the journaled router \
+             child, refork it, measure recovery) while the soak is in \
+             flight.  Journaled runs only.")
+  in
+  let router_chaos_every_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "router-chaos-every" ] ~docv:"K"
+          ~doc:"Inject a router fault on every Kth pacer tick.")
+  in
+  let hedge_arg =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:
+            "Enable hedged dispatch (+ cross-shard divergence audit) on \
+             the soaked router.  Sharded runs only.")
+  in
   let action socket clients requests seed workers chaos chaos_every mem_chaos
-      crypto cache_dir crash_dir deadline_ms json_out quiet shards shard_chaos
-      shard_chaos_every =
+      net_chaos crypto cache_dir crash_dir deadline_ms json_out quiet shards
+      shard_chaos shard_chaos_every journal_dir router_chaos
+      router_chaos_every hedge =
     let config =
       {
         Dp_server.Soak.socket_path = socket;
@@ -1327,7 +1430,7 @@ let soak_cmd =
         seed;
         workers;
         chaos =
-          (if chaos || mem_chaos then
+          (if chaos || mem_chaos || net_chaos then
              Some
                {
                  Dp_server.Chaos.default_config with
@@ -1335,7 +1438,8 @@ let soak_cmd =
                  every = chaos_every;
                  faults =
                    (Dp_server.Chaos.process_faults
-                   @ if mem_chaos then Dp_server.Chaos.mem_faults else []);
+                   @ (if mem_chaos then Dp_server.Chaos.mem_faults else [])
+                   @ if net_chaos then Dp_server.Chaos.net_faults else []);
                }
            else None);
         cache_dir;
@@ -1353,6 +1457,18 @@ let soak_cmd =
                  faults = Dp_server.Chaos.shard_faults;
                }
            else None);
+        journal_dir;
+        router_chaos =
+          (if router_chaos then
+             Some
+               {
+                 Dp_server.Chaos.default_config with
+                 seed;
+                 every = router_chaos_every;
+                 faults = Dp_server.Chaos.router_faults;
+               }
+           else None);
+        hedge;
         log =
           (if quiet then ignore
            else fun msg -> Fmt.epr "dpsyn soak: %s@." msg);
@@ -1383,9 +1499,81 @@ let soak_cmd =
     Term.(
       const action $ socket_arg $ clients_arg $ requests_arg $ seed_arg
       $ workers_arg $ chaos_arg $ chaos_every_arg $ mem_chaos_arg
-      $ crypto_arg $ cache_dir_arg $ crash_dir_arg $ deadline_arg
-      $ json_out_arg $ quiet_arg $ shards_arg $ shard_chaos_arg
-      $ shard_chaos_every_arg)
+      $ net_chaos_arg $ crypto_arg $ cache_dir_arg $ crash_dir_arg
+      $ deadline_arg $ json_out_arg $ quiet_arg $ shards_arg
+      $ shard_chaos_arg $ shard_chaos_every_arg $ journal_soak_arg
+      $ router_chaos_arg $ router_chaos_every_arg $ hedge_arg)
+
+let fsck_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"The store directory to verify.")
+  in
+  let prune_arg =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:
+            "Remove everything found wrong (corrupt or misfiled entries, \
+             orphaned temp files, stale locks).  Entry removals take the \
+             per-digest advisory lock, so pruning is safe against a live \
+             fleet.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the dpsyn-fsck/1 report object to FILE.")
+  in
+  let action dir prune json_out =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Fmt.epr "error: %s: not a directory@." dir;
+      exit 1
+    end;
+    let r = Dp_cache.Store.fsck ~prune ~dir () in
+    Fmt.pr
+      "fsck %s: %d entries scanned, %d valid, %d corrupt, %d misfiled, %d \
+       orphaned tmp, %d stale locks%s@."
+      dir r.scanned r.valid r.fsck_corrupt r.misfiled r.orphaned_tmp
+      r.stale_locks
+      (if prune then Fmt.str ", %d pruned" r.pruned else "");
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let open Dp_server.Json in
+      let j =
+        Obj
+          [
+            ("schema", Str "dpsyn-fsck/1");
+            ("dir", Str dir);
+            ("scanned", Int r.scanned);
+            ("valid", Int r.valid);
+            ("corrupt", Int r.fsck_corrupt);
+            ("misfiled", Int r.misfiled);
+            ("orphaned_tmp", Int r.orphaned_tmp);
+            ("stale_locks", Int r.stale_locks);
+            ("pruned", Int r.pruned);
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (to_string j);
+          output_char oc '\n'));
+    let problems =
+      r.fsck_corrupt + r.misfiled + r.orphaned_tmp + r.stale_locks
+    in
+    if problems > 0 && r.pruned < problems then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify a content-addressed store directory offline (checksums, \
+          filename-vs-fingerprint, lint, crashed-writer leftovers); exits \
+          1 if problems remain")
+    Term.(const action $ dir_arg $ prune_arg $ json_arg)
 
 let () =
   let doc = "fine-grained arithmetic datapath synthesis (DAC 2000 reproduction)" in
@@ -1396,5 +1584,5 @@ let () =
           [
             synth_cmd; synth_multi_cmd; compare_cmd; lint_cmd; fuzz_cmd;
             designs_cmd; design_cmd; serve_cmd; client_cmd; batch_cmd;
-            soak_cmd;
+            soak_cmd; fsck_cmd;
           ]))

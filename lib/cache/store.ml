@@ -252,6 +252,143 @@ let add t key entry =
      behind another shard's disk write would defeat sharding. *)
   write_disk t digest entry
 
+(* ------------------------------------------------------------------ *)
+(* Offline store verification (the [dpsyn fsck] subcommand).
+
+   Walks a store directory without a live [t]: every [.dpc] entry is
+   re-checked exactly as the read path would check it (magic, checksum,
+   unmarshal, lint) plus one check the read path cannot do — that the
+   file's name matches the MD5 of the fingerprint {e inside} it, so a
+   misfiled entry is caught even when no request ever asks for that
+   digest.  Leftover [.tmp.*] staging files older than [tmp_age_s] are
+   orphans (a crashed writer); [.lock] files whose entry is gone are
+   stale.  With [prune] set, every finding is removed. *)
+
+type fsck_report = {
+  scanned : int;
+  valid : int;
+  fsck_corrupt : int;
+  misfiled : int;
+  orphaned_tmp : int;
+  stale_locks : int;
+  pruned : int;
+}
+
+let fsck ?(prune = false) ?(tmp_age_s = 60.0) ~dir () =
+  let now = Unix.gettimeofday () in
+  let names =
+    match Sys.readdir dir with
+    | names -> Array.to_list names
+    | exception Sys_error _ -> []
+  in
+  let scanned = ref 0
+  and valid = ref 0
+  and corrupt = ref 0
+  and misfiled = ref 0
+  and orphaned_tmp = ref 0
+  and stale_locks = ref 0
+  and pruned = ref 0 in
+  let remove path =
+    match Sys.remove path with
+    | () -> incr pruned
+    | exception Sys_error _ -> ()
+  in
+  let is_hex32 s =
+    String.length s = 32
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         s
+  in
+  let check_entry name =
+    incr scanned;
+    let path = Filename.concat dir name in
+    let digest = Filename.chop_suffix name ".dpc" in
+    let verdict =
+      try
+        let raw = In_channel.with_open_bin path In_channel.input_all in
+        let mlen = String.length magic in
+        if
+          String.length raw < mlen + 33
+          || not (String.equal (String.sub raw 0 mlen) magic)
+        then `Corrupt
+        else
+          let sum = String.sub raw mlen 32 in
+          let body =
+            String.sub raw (mlen + 33) (String.length raw - mlen - 33)
+          in
+          if not (String.equal sum (Digest.to_hex (Digest.string body))) then
+            `Corrupt
+          else
+            let (entry : entry) = Marshal.from_string body 0 in
+            if
+              not
+                (String.equal digest
+                   (Digest.to_hex (Digest.string entry.fingerprint)))
+            then `Misfiled
+            else if lint_ok entry.result.netlist then `Valid
+            else `Corrupt
+      with _ -> `Corrupt
+    in
+    (* Pruning an entry also drops its companion lock file (inside the
+       critical section — unlink-while-held is fine), or the prune
+       itself would manufacture a stale lock. *)
+    let prune_entry () =
+      with_digest_lock dir digest (fun () ->
+          remove path;
+          try Sys.remove (Filename.concat dir (digest ^ ".lock"))
+          with Sys_error _ -> ())
+    in
+    match verdict with
+    | `Valid -> incr valid
+    | `Corrupt ->
+      incr corrupt;
+      if prune then prune_entry ()
+    | `Misfiled ->
+      incr misfiled;
+      if prune then prune_entry ()
+  in
+  List.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      if Filename.check_suffix name ".dpc" then check_entry name
+      else if
+        (* A staging file looks like <digest>.dpc.tmp.<pid>.<n>; anything
+           with ".tmp." in it that has sat around past the grace window
+           was left by a crashed writer — no live writer stages that
+           long. *)
+        let rec has_tmp i =
+          i + 5 <= String.length name
+          && (String.equal (String.sub name i 5) ".tmp." || has_tmp (i + 1))
+        in
+        has_tmp 0
+      then begin
+        match Unix.stat path with
+        | { Unix.st_mtime; _ } when now -. st_mtime > tmp_age_s ->
+          incr orphaned_tmp;
+          if prune then remove path
+        | _ | (exception Unix.Unix_error _) -> ()
+      end
+      else if Filename.check_suffix name ".lock" then begin
+        let digest = Filename.chop_suffix name ".lock" in
+        if
+          is_hex32 digest
+          && not (Sys.file_exists (Filename.concat dir (digest ^ ".dpc")))
+        then begin
+          incr stale_locks;
+          if prune then remove path
+        end
+      end)
+    names;
+  {
+    scanned = !scanned;
+    valid = !valid;
+    fsck_corrupt = !corrupt;
+    misfiled = !misfiled;
+    orphaned_tmp = !orphaned_tmp;
+    stale_locks = !stale_locks;
+    pruned = !pruned;
+  }
+
 let mem_digests t =
   Mutex.protect t.lock @@ fun () ->
   let rec go acc = function

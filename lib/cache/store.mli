@@ -47,6 +47,33 @@ val add : t -> Key.t -> entry -> unit
 
 val stats : t -> stats
 
+(** {!fsck}'s findings over one store directory. *)
+type fsck_report = {
+  scanned : int;  (** [.dpc] entries examined *)
+  valid : int;  (** entries that pass every check *)
+  fsck_corrupt : int;
+      (** bad magic, checksum mismatch, unmarshal failure, or a netlist
+          that fails the lint sweep — exactly the read path's rejects *)
+  misfiled : int;
+      (** internally whole entries filed under the wrong name: the
+          filename digest is not the MD5 of the fingerprint inside *)
+  orphaned_tmp : int;
+      (** [.tmp.*] staging files older than the grace window — leftovers
+          of a crashed writer *)
+  stale_locks : int;  (** [.lock] files whose entry no longer exists *)
+  pruned : int;  (** files removed (0 unless [prune]) *)
+}
+
+(** [fsck ~dir ()] — offline integrity walk of a store directory:
+    re-verify every entry exactly as the read path would (magic,
+    checksum, unmarshal, lint) {e plus} the name-vs-fingerprint check
+    only an offline scan can do, and find crashed-writer leftovers.
+    [prune] removes everything found wrong (entry removals take the
+    per-digest advisory lock, so fsck is safe against a live fleet);
+    [tmp_age_s] (default 60 s) is the grace window below which a [.tmp.*]
+    file may still be a write in flight. *)
+val fsck : ?prune:bool -> ?tmp_age_s:float -> dir:string -> unit -> fsck_report
+
 (** In-memory digests, most recently used first (test hook). *)
 val mem_digests : t -> string list
 

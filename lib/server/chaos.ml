@@ -7,6 +7,10 @@ type fault =
   | Mem_squeeze
   | Kill_shard
   | Hang_shard
+  | Delay_response
+  | Dup_response
+  | Drop_mid_line
+  | Kill_router
 
 let process_faults =
   [ Worker_panic; Slow_worker; Truncate_response; Corrupt_cache; Corrupt_result ]
@@ -15,7 +19,9 @@ let process_faults =
    would shift every seeded schedule's [List.nth] picks. *)
 let mem_faults = [ Mem_squeeze ]
 let shard_faults = [ Kill_shard; Hang_shard ]
-let all = process_faults @ mem_faults @ shard_faults
+let net_faults = [ Delay_response; Dup_response; Drop_mid_line ]
+let router_faults = [ Kill_router ]
+let all = process_faults @ mem_faults @ shard_faults @ net_faults @ router_faults
 
 let fault_name = function
   | Worker_panic -> "worker_panic"
@@ -26,6 +32,10 @@ let fault_name = function
   | Mem_squeeze -> "mem_squeeze"
   | Kill_shard -> "kill_shard"
   | Hang_shard -> "hang_shard"
+  | Delay_response -> "delay_response"
+  | Dup_response -> "dup_response"
+  | Drop_mid_line -> "drop_mid_line"
+  | Kill_router -> "kill_router"
 
 exception Panic
 
@@ -58,8 +68,9 @@ let slow_s t = t.config.slow_s
 let site_faults = function
   | `Worker ->
     [ Worker_panic; Slow_worker; Corrupt_cache; Corrupt_result; Mem_squeeze ]
-  | `Respond -> [ Truncate_response ]
+  | `Respond -> Truncate_response :: net_faults
   | `Shard -> shard_faults
+  | `Router -> router_faults
 
 (* One global tick counter across all sites: every [every]-th tick picks
    a fault uniformly from the configured classes, and the pick only

@@ -39,6 +39,27 @@
       stopped child as alive), after which the pool SIGKILLs and
       restarts it.
 
+    Network-level faults ([`Respond] site, opt-in):
+
+    - {!Delay_response} — hold the response line back for [slow_s]
+      before writing it; a hedging router must fire its duplicate and
+      the client must still get exactly one well-formed answer.
+    - {!Dup_response} — write the response line twice; the
+      one-request-per-connection protocol means the reader takes the
+      first and the duplicate dies with the connection — never a
+      duplicate side effect.
+    - {!Drop_mid_line} — write half the line, then hard-close the
+      socket; the client must see [DP-PROTO003]/[DP-PROTO004] and its
+      digest-idempotent retry must succeed.
+
+    Router fault ([`Router] site, opt-in — ticked only by the journaled
+    soak pacer, which owns the router process):
+
+    - {!Kill_router} — SIGKILL the routing front mid-flight; a restart
+      with [--journal] must replay the log (completed entries re-served
+      byte-identically, incomplete ones re-dispatched) and reattach to
+      the still-live shard fleet.
+
     Faults fire every [every]-th tick, cycling deterministically from
     [seed]; with the same seed and request schedule a run is
     reproducible. *)
@@ -52,6 +73,10 @@ type fault =
   | Mem_squeeze
   | Kill_shard
   | Hang_shard
+  | Delay_response
+  | Dup_response
+  | Drop_mid_line
+  | Kill_router
 
 val all : fault list
 
@@ -65,6 +90,14 @@ val mem_faults : fault list
 (** {!Kill_shard} and {!Hang_shard}; meaningful only at the [`Shard]
     site, which only a sharded topology ticks. *)
 val shard_faults : fault list
+
+(** {!Delay_response}, {!Dup_response}, {!Drop_mid_line}; [`Respond]
+    site, opt-in for the same schedule-stability reason. *)
+val net_faults : fault list
+
+(** {!Kill_router}; meaningful only at the [`Router] site, which only
+    the journaled soak pacer ticks. *)
+val router_faults : fault list
 
 val fault_name : fault -> string
 
@@ -93,9 +126,10 @@ val slow_s : t -> float
 
 (** [tick t ~site] — one potential injection point.  Returns the fault
     to inject, already filtered to the classes meaningful at [site]
-    ([`Worker], [`Respond] or [`Shard]), or [None].  Thread-safe; the
-    global tick counter makes the schedule deterministic per run. *)
-val tick : t -> site:[ `Worker | `Respond | `Shard ] -> fault option
+    ([`Worker], [`Respond], [`Shard] or [`Router]), or [None].
+    Thread-safe; the global tick counter makes the schedule
+    deterministic per run. *)
+val tick : t -> site:[ `Worker | `Respond | `Shard | `Router ] -> fault option
 
 (** Seeded uniform pick in [\[0, n)] — victim-shard selection without
     touching the wall clock.  @raise Invalid_argument on [n < 1]. *)

@@ -7,19 +7,73 @@ let transport ?(code = "DP-PROTO004") ~context fmt =
     (fun msg -> Error (Diag.v ~code ~subsystem:"proto" ~context msg))
     fmt
 
-let connect socket_path =
+let connect ?deadline socket_path =
   (* A server (or router) that dies between our write and its read must
      surface as a typed transport error, not SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-  | () ->
+  let wrap fd =
     Ok { fd; reader = Lineio.create fd; oc = Unix.out_channel_of_descr fd }
-  | exception Unix.Unix_error (e, _, _) ->
+  in
+  let fail fd e =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     transport
       ~context:[ ("socket", socket_path) ]
       "cannot connect: %s" (Unix.error_message e)
+  in
+  match deadline with
+  | None -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> wrap fd
+    | exception Unix.Unix_error (e, _, _) -> fail fd e)
+  | Some dl ->
+    (* A listener that is bound but no longer accepting blocks a plain
+       connect(2) forever once its backlog fills.  In non-blocking mode
+       AF_UNIX reports that state as EAGAIN, so connect non-blocking and
+       retry until the deadline: a wedged server degrades to a typed,
+       retryable timeout instead of a permanently hung caller. *)
+    let rec attempt () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.set_nonblock fd;
+      match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+      | () ->
+        Unix.clear_nonblock fd;
+        wrap fd
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        attempt ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () +. 0.01 >= dl then
+          transport
+            ~context:[ ("socket", socket_path) ]
+            "timed out connecting: listener backlog full"
+        else begin
+          Thread.delay 0.01;
+          attempt ()
+        end
+      | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+        (* Not expected for AF_UNIX on Linux, but complete it properly:
+           wait for writability, then read the final status. *)
+        match
+          Unix.select [] [ fd ] []
+            (Float.max 0.0 (dl -. Unix.gettimeofday ()))
+        with
+        | _, [ _ ], _ -> (
+          match Unix.getsockopt_error fd with
+          | None ->
+            Unix.clear_nonblock fd;
+            wrap fd
+          | Some e -> fail fd e)
+        | _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          transport
+            ~context:[ ("socket", socket_path) ]
+            "timed out connecting"
+        | exception Unix.Unix_error (e, _, _) -> fail fd e)
+      | exception Unix.Unix_error (e, _, _) -> fail fd e
+    in
+    attempt ()
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
@@ -113,14 +167,14 @@ let call ?(retry = default_retry) ~socket request =
     capped *. (0.5 +. Random.State.float rng 1.0)
   in
   let attempt () =
-    match connect socket with
+    let deadline =
+      if retry.per_attempt_timeout_s <= 0.0 then None
+      else Some (Unix.gettimeofday () +. retry.per_attempt_timeout_s)
+    in
+    match connect ?deadline socket with
     | Error _ as e -> e
     | Ok c ->
       Fun.protect ~finally:(fun () -> close c) @@ fun () ->
-      let deadline =
-        if retry.per_attempt_timeout_s <= 0.0 then None
-        else Some (Unix.gettimeofday () +. retry.per_attempt_timeout_s)
-      in
       rpc ?deadline c request
   in
   let rec go k =

@@ -18,7 +18,13 @@
 
 type t
 
-val connect : string -> (t, Dp_diag.Diag.t) result
+(** [connect ?deadline socket] opens a connection.  Without [deadline]
+    the connect is a plain blocking [connect(2)] — which hangs forever
+    against a listener that is bound but not accepting once its backlog
+    fills.  With [deadline] (absolute, [Unix.gettimeofday] clock) the
+    connect is non-blocking and a full backlog is retried until the
+    deadline, then surfaced as a retryable [DP-PROTO004]. *)
+val connect : ?deadline:float -> string -> (t, Dp_diag.Diag.t) result
 val close : t -> unit
 
 val send_line : t -> string -> (unit, Dp_diag.Diag.t) result

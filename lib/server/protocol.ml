@@ -364,6 +364,8 @@ let params_fields p =
   | Some d -> [ ("deadline_ms", Json.Float d) ]
   | None -> []
 
+let params_to_json p = Json.Obj (params_fields p)
+
 let request_to_json { id; req } =
   let id_field = match id with Json.Null -> [] | id -> [ ("id", id) ] in
   match req with

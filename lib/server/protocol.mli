@@ -77,6 +77,10 @@ val digest_of_params : tech:Dp_tech.Tech.t -> synth_params -> string option
 (** Parse one synth-parameter object (the shape batch elements use). *)
 val params_of_json : Json.t -> (synth_params, Dp_diag.Diag.t) result
 
+(** The inverse: the synth-parameter object [params_of_json] accepts —
+    the shape the request journal persists for replay. *)
+val params_to_json : synth_params -> Json.t
+
 val request_of_line : string -> (envelope, Dp_diag.Diag.t) result
 val request_of_json : Json.t -> (envelope, Dp_diag.Diag.t) result
 val request_to_json : envelope -> Json.t

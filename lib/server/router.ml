@@ -17,6 +17,20 @@
 
 module Diag = Dp_diag.Diag
 
+(* Hedged dispatch: when the home shard has not answered within a
+   percentile of recent forward latencies, duplicate the request to the
+   next shard and take whichever answer lands first.  Safe because
+   requests are digest-idempotent — and the straggler, when it does
+   arrive, is byte-compared against the winner as a free cross-shard
+   audit. *)
+type hedge = {
+  percentile : float;  (* of the recent forward-latency window *)
+  min_delay_s : float;  (* never hedge sooner than this *)
+  max_delay_s : float;  (* never wait longer than this to hedge *)
+}
+
+let default_hedge = { percentile = 0.95; min_delay_s = 0.025; max_delay_s = 1.0 }
+
 type config = {
   socket_path : string;
   pool : Shard_pool.t;
@@ -24,6 +38,8 @@ type config = {
   forward_timeout_s : float;
   log : string -> unit;
   handle_signals : bool;
+  journal : Journal.t option;
+  hedge : hedge option;
 }
 
 let default_config ~socket_path ~pool =
@@ -34,7 +50,13 @@ let default_config ~socket_path ~pool =
     forward_timeout_s = 60.0;
     log = ignore;
     handle_signals = false;
+    journal = None;
+    hedge = None;
   }
+
+(* Recent forward latencies, kept as a fixed ring — enough signal for a
+   percentile without unbounded growth. *)
+let lat_window = 128
 
 type t = {
   config : config;
@@ -49,9 +71,21 @@ type t = {
   mutable routed : int;  (* forwards answered by a shard *)
   mutable failovers : int;  (* forwards answered by a non-home shard *)
   mutable forward_errors : int;  (* forwards no shard could answer *)
+  mutable hedges_fired : int;  (* duplicate dispatches issued *)
+  mutable hedge_wins : int;  (* requests answered by the duplicate *)
+  mutable diverges : int;  (* hedge pairs with differing result bytes *)
+  mutable replayed : int;  (* journal entries recovered at start *)
+  mutable redispatched : int;  (* incomplete entries re-forwarded *)
+  lat : float array;
+  mutable lat_n : int;  (* total latencies recorded *)
 }
 
 let locked t f = Mutex.protect t.state_lock f
+
+let record_latency t dt =
+  locked t (fun () ->
+      t.lat.(t.lat_n mod lat_window) <- dt;
+      t.lat_n <- t.lat_n + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Routing *)
@@ -66,11 +100,11 @@ let home_of t (p : Protocol.synth_params) =
     | exception _ -> 0)
 
 let attempt t socket json =
-  match Client.connect socket with
+  let deadline = Unix.gettimeofday () +. t.config.forward_timeout_s in
+  match Client.connect ~deadline socket with
   | Error _ as e -> e
   | Ok c ->
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
-    let deadline = Unix.gettimeofday () +. t.config.forward_timeout_s in
     Client.rpc ~deadline c json
 
 (* Forward to the home shard, failing over along home+1, home+2, … —
@@ -82,6 +116,7 @@ let attempt t socket json =
 let forward t ~home json =
   let pool = t.config.pool in
   let n = Shard_pool.shard_count pool in
+  let t0 = Unix.gettimeofday () in
   let rec go k =
     if k >= n then begin
       locked t (fun () -> t.forward_errors <- t.forward_errors + 1);
@@ -100,10 +135,137 @@ let forward t ~home json =
           locked t (fun () ->
               t.routed <- t.routed + 1;
               if i <> home then t.failovers <- t.failovers + 1);
+          record_latency t (Unix.gettimeofday () -. t0);
           Ok resp
         | Error _ -> go (k + 1)
   in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Hedged dispatch *)
+
+(* The bytes that must agree across shards: the ["result"] member alone.
+   The envelope's [cached] flag legitimately differs (one shard may
+   serve from its store while the other synthesizes fresh) and is
+   excluded from the result record for exactly this reason. *)
+let result_bytes resp =
+  match Json.member "ok" resp |> Fun.flip Option.bind Json.to_bool with
+  | Some true -> Option.map Json.to_string (Json.member "result" resp)
+  | _ -> None
+
+let hedge_delay t (h : hedge) =
+  locked t (fun () ->
+      let n = min t.lat_n lat_window in
+      if n < 8 then h.max_delay_s (* not enough signal yet; hedge late *)
+      else begin
+        let xs = Array.sub t.lat 0 n in
+        Array.sort compare xs;
+        let idx =
+          min (n - 1) (int_of_float (h.percentile *. float_of_int n))
+        in
+        Float.max h.min_delay_s (Float.min h.max_delay_s xs.(idx))
+      end)
+
+let diverge_error ~home ~hedge_shard =
+  Diag.v ~code:"DP-SRV-DIVERGE" ~subsystem:"server"
+    ~context:
+      [
+        ("home", string_of_int home); ("hedge_shard", string_of_int hedge_shard);
+      ]
+    "home and hedge shards returned different result bytes for one \
+     request; refusing to pick an answer"
+
+(* Forward with a hedge: run the primary in its own thread; if it has
+   not answered within the percentile-derived delay, fire a duplicate
+   starting at the next shard and deliver whichever answer arrives
+   first.  If both answers are in hand before delivery and their result
+   bytes differ, the client gets [DP-SRV-DIVERGE] — never a silently
+   picked answer.  When the laggard arrives after delivery, a detached
+   audit thread still byte-compares and records the divergence. *)
+let forward_hedged t ~home json =
+  match t.config.hedge with
+  | None -> forward t ~home json
+  | Some _ when Shard_pool.shard_count t.config.pool < 2 ->
+    forward t ~home json
+  | Some h ->
+    let n = Shard_pool.shard_count t.config.pool in
+    let hedge_shard = (home + 1) mod n in
+    let m = Mutex.create () in
+    let cv = Condition.create () in
+    let arrivals = ref [] in
+    let deliver who r =
+      Mutex.protect m (fun () ->
+          arrivals := !arrivals @ [ (who, r) ];
+          Condition.broadcast cv)
+    in
+    ignore (Thread.create (fun () -> deliver `Primary (forward t ~home json)) ());
+    let delay = hedge_delay t h in
+    let t0 = Unix.gettimeofday () in
+    (* No timed condvar wait in the stdlib: poll on a short period until
+       the primary lands or the hedge delay expires. *)
+    let rec await_primary () =
+      if Mutex.protect m (fun () -> !arrivals <> []) then true
+      else if Unix.gettimeofday () -. t0 >= delay then false
+      else begin
+        Thread.delay 0.002;
+        await_primary ()
+      end
+    in
+    let audit rs =
+      match rs with
+      | [ (_, Ok a); (_, Ok b) ] -> (
+        match (result_bytes a, result_bytes b) with
+        | Some ba, Some bb when not (String.equal ba bb) ->
+          locked t (fun () -> t.diverges <- t.diverges + 1);
+          t.config.log
+            (Printf.sprintf
+               "[DP-SRV-DIVERGE] home shard %d and hedge shard %d disagree \
+                (%d vs %d result bytes)"
+               home hedge_shard (String.length ba) (String.length bb));
+          true
+        | _ -> false)
+      | _ -> false
+    in
+    if await_primary () then
+      match Mutex.protect m (fun () -> !arrivals) with
+      | (_, r) :: _ -> r
+      | [] -> assert false
+    else begin
+      locked t (fun () -> t.hedges_fired <- t.hedges_fired + 1);
+      ignore
+        (Thread.create
+           (fun () -> deliver `Hedge (forward t ~home:hedge_shard json))
+           ());
+      (* Take the first arrival... *)
+      Mutex.lock m;
+      while !arrivals = [] do
+        Condition.wait cv m
+      done;
+      let snapshot = !arrivals in
+      Mutex.unlock m;
+      (* ...unless both are already in and disagree. *)
+      if List.length snapshot >= 2 && audit snapshot then
+        Error (diverge_error ~home ~hedge_shard)
+      else begin
+        let who, r = List.hd snapshot in
+        if who = `Hedge then locked t (fun () -> t.hedge_wins <- t.hedge_wins + 1);
+        (* The laggard still gets audited — hedging doubles as a
+           continuous cross-shard consistency probe. *)
+        if List.length snapshot < 2 then
+          ignore
+            (Thread.create
+               (fun () ->
+                 Mutex.lock m;
+                 while List.length !arrivals < 2 do
+                   Condition.wait cv m
+                 done;
+                 let rs = !arrivals in
+                 Mutex.unlock m;
+                 ignore (audit rs))
+               ());
+        r
+      end
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Batch: partition by home shard, forward the sub-batches concurrently,
@@ -261,13 +423,41 @@ let stats_json t =
       ("latency_ms", sum_latency shard_stats);
       ( "router",
         Json.Obj
-          [
-            ("connections", Json.Int connections);
-            ("routed", Json.Int routed);
-            ("failovers", Json.Int failovers);
-            ("forward_errors", Json.Int forward_errors);
-            ("shards_reporting", Json.Int (List.length shard_stats));
-          ] );
+          ([
+             ("connections", Json.Int connections);
+             ("routed", Json.Int routed);
+             ("failovers", Json.Int failovers);
+             ("forward_errors", Json.Int forward_errors);
+             ("shards_reporting", Json.Int (List.length shard_stats));
+           ]
+          @ (let fired, wins, div =
+               locked t (fun () -> (t.hedges_fired, t.hedge_wins, t.diverges))
+             in
+             [
+               ("hedges_fired", Json.Int fired);
+               ("hedge_wins", Json.Int wins);
+               ("diverges", Json.Int div);
+             ])
+          @
+          match t.config.journal with
+          | None -> []
+          | Some j ->
+            let js = Journal.stats j in
+            let replayed, redispatched =
+              locked t (fun () -> (t.replayed, t.redispatched))
+            in
+            [
+              ( "journal",
+                Json.Obj
+                  [
+                    ("replayed", Json.Int replayed);
+                    ("redispatched", Json.Int redispatched);
+                    ("appended", Json.Int js.Journal.appended);
+                    ("recovered", Json.Int js.Journal.recovered);
+                    ("torn_bytes", Json.Int js.Journal.torn_bytes);
+                    ("compactions", Json.Int js.Journal.compactions);
+                  ] );
+            ]) );
       ("shard_pool", Shard_pool.stats_json pool);
     ]
 
@@ -322,8 +512,27 @@ let handle_line t fd line =
       let json =
         Protocol.request_to_json { Protocol.id; req = Protocol.Synth p }
       in
-      match forward t ~home json with
+      (* Journal the admission before any forward: a router crash after
+         this point leaves a replayable record.  A request with no
+         content address is not journaled — the shard's typed error is
+         cheap to recompute. *)
+      let seq =
+        match t.config.journal with
+        | None -> None
+        | Some j -> (
+          match Protocol.digest_of_params ~tech:t.config.tech p with
+          | None -> None
+          | Some digest ->
+            let s = Journal.admit j ~digest ~params:(Protocol.params_to_json p) in
+            Journal.dispatch j ~seq:s ~shard:home;
+            Some (j, s))
+      in
+      match forward_hedged t ~home json with
       | Ok resp ->
+        (* Any shard answer — an error envelope included — completes the
+           journal entry: the outcome is reproducible from the store (or
+           recomputable), so replaying it would only duplicate work. *)
+        Option.iter (fun (j, s) -> Journal.complete j ~seq:s) seq;
         (* Relay the shard's envelope; the deterministic printer makes
            the re-serialization byte-identical to the shard's own line,
            so sharding is invisible to byte-comparing clients. *)
@@ -391,6 +600,63 @@ let accept_loop t =
   try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Journal replay: the crash-recovery pass, run once at start before the
+   socket accepts clients.  [Completed] entries need no work — their
+   answers live in the digest-keyed store and will be re-served
+   byte-identically on the next request.  Incomplete entries are
+   re-dispatched to their home shard: digest idempotency makes a
+   double-dispatch (the pre-crash forward may have finished on the
+   shard) converge on the same stored bytes, so replay never duplicates
+   a side effect. *)
+
+let replay_journal t =
+  match t.config.journal with
+  | None -> ()
+  | Some j ->
+    List.iter
+      (fun (e : Journal.entry) ->
+        match e.Journal.state with
+        | Journal.Completed ->
+          locked t (fun () -> t.replayed <- t.replayed + 1)
+        | Journal.Admitted | Journal.Dispatched -> (
+          match Protocol.params_of_json e.Journal.params with
+          | Error d ->
+            t.config.log
+              (Printf.sprintf
+                 "[DP-SRV-REPLAY] seq %d digest %s: unreadable params (%s); \
+                  dropping"
+                 e.Journal.seq e.Journal.digest d.Diag.message);
+            Journal.complete j ~seq:e.Journal.seq
+          | Ok p -> (
+            let home = home_of t p in
+            Journal.dispatch j ~seq:e.Journal.seq ~shard:home;
+            let json =
+              Protocol.request_to_json
+                {
+                  Protocol.id =
+                    Json.Str (Printf.sprintf "replay-%d" e.Journal.seq);
+                  req = Protocol.Synth p;
+                }
+            in
+            match forward t ~home json with
+            | Ok _ ->
+              Journal.complete j ~seq:e.Journal.seq;
+              locked t (fun () ->
+                  t.replayed <- t.replayed + 1;
+                  t.redispatched <- t.redispatched + 1);
+              t.config.log
+                (Printf.sprintf
+                   "[DP-SRV-REPLAY] seq %d digest %s re-dispatched to shard %d"
+                   e.Journal.seq e.Journal.digest home)
+            | Error d ->
+              (* Stays incomplete; the next incarnation tries again. *)
+              t.config.log
+                (Printf.sprintf "[DP-SRV-REPLAY] seq %d failed: %s"
+                   e.Journal.seq d.Diag.message))))
+      (Journal.recovered j);
+    Journal.compact j
+
+(* ------------------------------------------------------------------ *)
 
 let start (config : config) =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -414,8 +680,19 @@ let start (config : config) =
       routed = 0;
       failovers = 0;
       forward_errors = 0;
+      hedges_fired = 0;
+      hedge_wins = 0;
+      diverges = 0;
+      replayed = 0;
+      redispatched = 0;
+      lat = Array.make lat_window 0.0;
+      lat_n = 0;
     }
   in
+  (* Recover before accepting: clients connecting to the new socket must
+     observe a journal whose incomplete entries are already back in
+     flight.  (Callers bring the pool up — or reattach it — first.) *)
+  replay_journal t;
   if config.handle_signals then begin
     (* Same sigwait-thread discipline as [Server.start]: handlers must
        not depend on the kernel picking a runnable thread. *)
@@ -453,17 +730,36 @@ let wait t =
       (Thread.sigmask Unix.SIG_UNBLOCK [ Sys.sigterm; Sys.sigint; Sys.sigusr2 ]));
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
-  (* The front is down; take the fleet with it. *)
+  (* The front is down by choice; take the fleet with it.  (A crashed
+     router never reaches this line — that is what the journal, the
+     pool's state file and the next incarnation's replay are for.) *)
   Shard_pool.shutdown t.config.pool;
-  let connections, routed, failovers, forward_errors =
-    locked t (fun () -> (t.connections, t.routed, t.failovers, t.forward_errors))
+  Option.iter Journal.close t.config.journal;
+  let connections, routed, failovers, forward_errors, fired, wins, div =
+    locked t (fun () ->
+        ( t.connections,
+          t.routed,
+          t.failovers,
+          t.forward_errors,
+          t.hedges_fired,
+          t.hedge_wins,
+          t.diverges ))
   in
   let restarts, health_kills = Shard_pool.counters t.config.pool in
   t.config.log
     (Printf.sprintf
        "router drained: connections=%d routed=%d failovers=%d \
-        forward_errors=%d shard_restarts=%d health_kills=%d"
-       connections routed failovers forward_errors restarts health_kills)
+        forward_errors=%d shard_restarts=%d health_kills=%d hedges=%d/%d \
+        diverges=%d"
+       connections routed failovers forward_errors restarts health_kills fired
+       wins div)
+
+(* (fired, wins, diverges) — for the soak report and benches. *)
+let hedge_counters t =
+  locked t (fun () -> (t.hedges_fired, t.hedge_wins, t.diverges))
+
+(* (entries recovered at start, incomplete entries re-dispatched). *)
+let replay_counters t = locked t (fun () -> (t.replayed, t.redispatched))
 
 let run config =
   let t = start config in

@@ -24,7 +24,41 @@
       per-shard detail;
     - [ping] — answered locally;
     - [shutdown] — acknowledged, then the router and the whole pool shut
-      down. *)
+      down.
+
+    {2 Durability (opt-in via [journal])}
+
+    With a {!Journal} attached, every content-addressed [synth] request
+    is journaled {e admitted → dispatched → completed} around its
+    forward.  A router that crashes (SIGKILL included) leaves the log
+    behind; the next incarnation {e replays} it before accepting
+    clients: [completed] entries are counted and re-served
+    byte-identically from the digest-keyed store on demand, incomplete
+    ones are re-dispatched to their home shard ([DP-SRV-REPLAY] log
+    lines) — safe, because digest idempotency makes a double dispatch
+    converge on the same stored bytes.  Pair with
+    [Shard_pool.state_file] so the new incarnation reattaches to the
+    still-live fleet.  Batches ride on client-side retry idempotency and
+    are not journaled.
+
+    {2 Hedged dispatch (opt-in via [hedge])}
+
+    When the home shard has not answered within a percentile of recent
+    forward latencies, the request is duplicated to the next shard and
+    the first answer wins — tail latency is bounded by the healthy
+    sibling.  Both answers, whenever the straggler lands, are
+    byte-compared as a free cross-shard audit; a mismatch is the typed
+    [DP-SRV-DIVERGE] error (or a logged divergence count if the winner
+    was already delivered), never a silently picked answer. *)
+
+(** Hedging policy: duplicate a request once its forward has been in
+    flight for the [percentile]-th recent forward latency, clamped to
+    [[min_delay_s, max_delay_s]].  Until enough latencies are recorded
+    the delay is [max_delay_s]. *)
+type hedge = { percentile : float; min_delay_s : float; max_delay_s : float }
+
+(** p95, clamped to [[25 ms, 1 s]]. *)
+val default_hedge : hedge
 
 type config = {
   socket_path : string;
@@ -35,15 +69,20 @@ type config = {
   forward_timeout_s : float;  (** per-shard forward deadline *)
   log : string -> unit;
   handle_signals : bool;  (** SIGTERM/SIGINT → graceful shutdown *)
+  journal : Journal.t option;  (** durability + crash recovery *)
+  hedge : hedge option;  (** tail-latency hedging + divergence audit *)
 }
 
-(** lcb_like tech, 60 s forward timeout, no signals, silent log. *)
+(** lcb_like tech, 60 s forward timeout, no signals, silent log, no
+    journal, no hedging. *)
 val default_config : socket_path:string -> pool:Shard_pool.t -> config
 
 type t
 
-(** Bind the front socket and start accepting.  Ignores SIGPIPE
-    process-wide. *)
+(** Bind the front socket, replay the journal (if any), and start
+    accepting.  Ignores SIGPIPE process-wide.  The caller brings the
+    pool up (or reattaches it) first, so replay forwards land on a live
+    fleet. *)
 val start : config -> t
 
 (** The home shard for these parameters (digest prefix mod shard count;
@@ -56,8 +95,16 @@ val stats_json : t -> Json.t
 (** Idempotent: stop accepting, unlink the front socket. *)
 val request_shutdown : t -> unit
 
-(** Join the accept and signal threads, then shut the pool down too. *)
+(** Join the accept and signal threads, then shut the pool down too
+    (and close the journal). *)
 val wait : t -> unit
+
+(** (hedges fired, hedge wins, divergences). *)
+val hedge_counters : t -> int * int * int
+
+(** (journal entries recovered at start, incomplete entries
+    re-dispatched). *)
+val replay_counters : t -> int * int
 
 (** [start] + [wait]. *)
 val run : config -> unit

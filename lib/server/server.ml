@@ -422,8 +422,12 @@ let process t job =
         Option.iter (Chaos.corrupt_cache_entry c) t.config.store
       | Some Chaos.Corrupt_result -> corrupt_result := true
       | Some Chaos.Mem_squeeze -> squeeze := true
-      (* response- and shard-level faults are other sites' business *)
-      | Some (Chaos.Truncate_response | Chaos.Kill_shard | Chaos.Hang_shard) ->
+      (* response-, shard- and router-level faults are other sites'
+         business *)
+      | Some
+          ( Chaos.Truncate_response | Chaos.Kill_shard | Chaos.Hang_shard
+          | Chaos.Delay_response | Chaos.Dup_response | Chaos.Drop_mid_line
+          | Chaos.Kill_router ) ->
         ()));
     let budget =
       Dp_fuzz.Budget.clamp_deadline t.config.budget ~now ~deadline:job.deadline
@@ -647,17 +651,41 @@ exception Peer_gone of Diag.t
 
 let respond t fd json =
   let line = Json.to_string json in
-  match Option.bind t.chaos (fun c -> Chaos.tick c ~site:`Respond) with
-  | Some Chaos.Truncate_response ->
-    let wire = line ^ "\n" in
-    let cut = max 1 (String.length wire / 2) in
-    (try ignore (Unix.write fd (Bytes.of_string wire) 0 cut)
-     with Unix.Unix_error _ -> ());
-    raise Torn_response
-  | _ -> (
+  let write_whole () =
     match Lineio.write_line fd line with
     | Ok () -> ()
-    | Error d -> raise (Peer_gone d))
+    | Error d -> raise (Peer_gone d)
+  in
+  let write_half () =
+    let wire = line ^ "\n" in
+    let cut = max 1 (String.length wire / 2) in
+    try ignore (Unix.write fd (Bytes.of_string wire) 0 cut)
+    with Unix.Unix_error _ -> ()
+  in
+  match Option.bind t.chaos (fun c -> Chaos.tick c ~site:`Respond) with
+  | Some Chaos.Truncate_response ->
+    write_half ();
+    raise Torn_response
+  | Some Chaos.Delay_response ->
+    (* Hold the answer back long enough to look like a tail-latency
+       straggler (and to trip a hedging router's delay), then deliver
+       it intact. *)
+    Option.iter (fun c -> Thread.delay (Chaos.slow_s c)) t.chaos;
+    write_whole ()
+  | Some Chaos.Dup_response ->
+    (* The same well-formed line twice: one request per connection means
+       the reader takes the first and the duplicate dies with the
+       socket — duplicated wire bytes must never become a duplicated
+       side effect. *)
+    write_whole ();
+    (match Lineio.write_line fd line with Ok () | Error _ -> ())
+  | Some Chaos.Drop_mid_line ->
+    (* Half a line, then a hard close in both directions: the abrupt-
+       hangup variant of [Truncate_response]. *)
+    write_half ();
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    raise Torn_response
+  | _ -> write_whole ()
 
 let handle_line t fd line =
   match Protocol.request_of_line line with

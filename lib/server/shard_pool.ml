@@ -37,6 +37,7 @@ type config = {
   grace_s : float;
   supervisor : Supervisor.policy;
   log : string -> unit;
+  state_file : string option;
 }
 
 let default_config ~socket_for ~spawn ~shards =
@@ -53,6 +54,7 @@ let default_config ~socket_for ~spawn ~shards =
     grace_s = 5.0;
     supervisor = Supervisor.default_policy;
     log = ignore;
+    state_file = None;
   }
 
 type phase = Up | Backoff | Stopped
@@ -70,6 +72,7 @@ type shard = {
   mutable stable_recorded : bool;
   mutable restarts : int;  (* respawns after a death (not first start) *)
   mutable health_kills : int;  (* SIGKILLs issued by the health checker *)
+  mutable adopted : bool;  (* live process reattached, not our child *)
 }
 
 type t = {
@@ -79,6 +82,7 @@ type t = {
   mutable monitor : Thread.t option;
   mutable health : Thread.t option;
   mutable shutting_down : bool;
+  mutable adoptions : int;  (* shards reattached instead of respawned *)
 }
 
 let locked t f = Mutex.protect t.lock f
@@ -90,9 +94,84 @@ let phase_name = function
   | Stopped -> "stopped"
 
 (* ------------------------------------------------------------------ *)
+(* Fleet state file: which pid serves which shard socket.  A pool
+   started with the same [state_file] after its owner crashed (e.g. a
+   SIGKILLed router) reattaches to the still-live shard processes
+   instead of respawning the fleet. *)
+
+(* [kill 0] probes existence without delivering anything; EPERM still
+   means "exists". *)
+let process_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+  | exception Unix.Unix_error _ -> false
+
+(* Call with [t.lock] held (or before the pool threads exist). *)
+let write_state_locked t =
+  match t.config.state_file with
+  | None -> ()
+  | Some path ->
+    let shards =
+      Array.to_list t.shards
+      |> List.filter_map (fun s ->
+             match (s.phase, s.pid) with
+             | Up, Some pid ->
+               Some
+                 (Json.Obj
+                    [
+                      ("id", Json.Int s.id);
+                      ("pid", Json.Int pid);
+                      ("socket", Json.Str s.socket);
+                    ])
+             | _ -> None)
+    in
+    let doc =
+      Json.Obj
+        [ ("schema", Json.Str "dpsyn-shards/1"); ("shards", Json.List shards) ]
+    in
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    (try
+       Out_channel.with_open_bin tmp (fun oc ->
+           output_string oc (Json.to_string doc);
+           output_char oc '\n');
+       Sys.rename tmp path
+     with Sys_error _ | Unix.Unix_error _ -> (
+       try Sys.remove tmp with Sys_error _ -> ()))
+
+(* The recorded pid per shard id from a previous incarnation's state
+   file, if readable. *)
+let read_state path =
+  if not (Sys.file_exists path) then []
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ -> []
+    | raw -> (
+      match Json.of_string (String.trim raw) with
+      | Error _ -> []
+      | Ok doc ->
+        (match Json.member "schema" doc |> Fun.flip Option.bind Json.to_str with
+        | Some "dpsyn-shards/1" -> (
+          match Json.member "shards" doc |> Fun.flip Option.bind Json.to_list with
+          | Some shards ->
+            List.filter_map
+              (fun sh ->
+                match
+                  ( Json.member "id" sh |> Fun.flip Option.bind Json.to_int,
+                    Json.member "pid" sh |> Fun.flip Option.bind Json.to_int,
+                    Json.member "socket" sh |> Fun.flip Option.bind Json.to_str )
+                with
+                | Some id, Some pid, Some socket -> Some (id, pid, socket)
+                | _ -> None)
+              shards
+          | None -> [])
+        | _ -> []))
+
+(* ------------------------------------------------------------------ *)
 (* Spawning *)
 
 let spawn_shard t s =
+  s.adopted <- false;
   (* Remove a stale socket first so a ping cannot reach a ghost. *)
   (try Sys.remove s.socket with Sys_error _ -> ());
   match Unix.fork () with
@@ -117,7 +196,8 @@ let spawn_shard t s =
     s.health_fails <- 0;
     s.stable_recorded <- false;
     t.config.log
-      (Printf.sprintf "shard %d: started pid %d on %s" s.id pid s.socket)
+      (Printf.sprintf "shard %d: started pid %d on %s" s.id pid s.socket);
+    write_state_locked t
 
 (* ------------------------------------------------------------------ *)
 (* Monitor: waitpid polling, backoff scheduling, restarts *)
@@ -133,21 +213,22 @@ let signal_name sg =
   else if sg = Sys.sigstop then "SIGSTOP"
   else Printf.sprintf "signal %d" sg
 
-let note_death t s status =
-  let reason =
-    match status with
-    | Unix.WEXITED c -> Printf.sprintf "exited %d" c
-    | Unix.WSIGNALED sg -> Printf.sprintf "killed by %s" (signal_name sg)
-    | Unix.WSTOPPED sg -> Printf.sprintf "stopped by %s" (signal_name sg)
-  in
+let status_reason = function
+  | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+  | Unix.WSIGNALED sg -> Printf.sprintf "killed by %s" (signal_name sg)
+  | Unix.WSTOPPED sg -> Printf.sprintf "stopped by %s" (signal_name sg)
+
+let note_death t s ~reason =
   s.pid <- None;
+  s.adopted <- false;
   let backoff = Supervisor.record_crash s.sup ~trial:s.trial in
   s.trial <- false;
   s.phase <- Backoff;
   s.restart_at <- Unix.gettimeofday () +. backoff;
   t.config.log
     (Printf.sprintf "[DP-SRV-SHARD-DOWN] shard %d %s; restart in %.3fs" s.id
-       reason backoff)
+       reason backoff);
+  write_state_locked t
 
 let monitor_step t =
   locked t @@ fun () ->
@@ -159,9 +240,8 @@ let monitor_step t =
         | Up -> (
           match s.pid with
           | None -> ()
-          | Some pid -> (
-            match Unix.waitpid [ Unix.WNOHANG ] pid with
-            | 0, _ ->
+          | Some pid ->
+            let record_stable () =
               (* Alive.  An incarnation that has stayed up [stable_s]
                  counts as a supervisor success: consecutive-crash
                  backoff resets, and a half-open breaker closes. *)
@@ -173,11 +253,23 @@ let monitor_step t =
                 Supervisor.record_success s.sup ~trial:s.trial;
                 s.trial <- false
               end
-            | p, status when p = pid -> note_death t s status
-            | _ -> ()
-            | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
-              note_death t s (Unix.WEXITED 255)
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+            in
+            if s.adopted then begin
+              (* An adopted shard is not our child: waitpid would raise
+                 ECHILD on a live process, so existence is the only
+                 exit detector (the health ping still catches hangs). *)
+              if process_alive pid then record_stable ()
+              else note_death t s ~reason:"adopted process vanished"
+            end
+            else (
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> record_stable ()
+              | p, status when p = pid ->
+                note_death t s ~reason:(status_reason status)
+              | _ -> ()
+              | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                note_death t s ~reason:(status_reason (Unix.WEXITED 255))
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
         | Backoff ->
           if Unix.gettimeofday () >= s.restart_at then (
             match Supervisor.admit s.sup with
@@ -229,11 +321,11 @@ let ping_ok t s =
     Protocol.request_to_json
       { Protocol.id = Json.Str (Printf.sprintf "hc-%d" s.id); req = Protocol.Ping }
   in
-  match Client.connect s.socket with
+  let deadline = Unix.gettimeofday () +. t.config.health_timeout_s in
+  match Client.connect ~deadline s.socket with
   | Error _ -> false
   | Ok c ->
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
-    let deadline = Unix.gettimeofday () +. t.config.health_timeout_s in
     (match Client.rpc ~deadline c req with
     | Error _ -> false
     | Ok resp ->
@@ -317,14 +409,44 @@ let start (config : config) =
               stable_recorded = false;
               restarts = 0;
               health_kills = 0;
+              adopted = false;
             });
       lock = Mutex.create ();
       monitor = None;
       health = None;
       shutting_down = false;
+      adoptions = 0;
     }
   in
-  locked t (fun () -> Array.iter (fun s -> spawn_shard t s) t.shards);
+  (* A previous pool incarnation (same [state_file]) may have left live
+     shard processes behind — a SIGKILLed router cannot take its fleet
+     down with it.  Reattach to any recorded pid that still exists and
+     answers a ping on its socket; spawn the rest.  This runs before
+     the monitor/health threads exist, so no lock is needed for the
+     pings. *)
+  let recorded =
+    match config.state_file with Some p -> read_state p | None -> []
+  in
+  Array.iter
+    (fun s ->
+      let candidate =
+        List.find_opt
+          (fun (id, _, socket) -> id = s.id && String.equal socket s.socket)
+          recorded
+      in
+      match candidate with
+      | Some (_, pid, _) when process_alive pid && ping_ok t s ->
+        s.pid <- Some pid;
+        s.adopted <- true;
+        s.phase <- Up;
+        s.started_at <- Unix.gettimeofday ();
+        t.adoptions <- t.adoptions + 1;
+        t.config.log
+          (Printf.sprintf "shard %d: reattached to live pid %d on %s" s.id pid
+             s.socket)
+      | _ -> locked t (fun () -> spawn_shard t s))
+    t.shards;
+  locked t (fun () -> write_state_locked t);
   t.monitor <- Some (Thread.create (fun () -> monitor_loop t) ());
   t.health <- Some (Thread.create (fun () -> health_loop t) ());
   t
@@ -367,6 +489,8 @@ let counters t =
         (fun (r, h) s -> (r + s.restarts, h + s.health_kills))
         (0, 0) t.shards)
 
+let adoptions t = locked t (fun () -> t.adoptions)
+
 let stats_json t =
   let per_shard =
     locked t (fun () ->
@@ -381,6 +505,7 @@ let stats_json t =
                      match s.pid with Some p -> Json.Int p | None -> Json.Null );
                    ("restarts", Json.Int s.restarts);
                    ("health_kills", Json.Int s.health_kills);
+                   ("adopted", Json.Bool s.adopted);
                    ( "breaker",
                      Json.Str (Supervisor.breaker_name (Supervisor.breaker_state s.sup)) );
                    ("crashes", Json.Int crashes);
@@ -394,6 +519,7 @@ let stats_json t =
       ("shards", Json.Int t.config.shards);
       ("restarts", Json.Int restarts);
       ("health_kills", Json.Int health_kills);
+      ("adopted", Json.Int (adoptions t));
       ("detail", Json.List per_shard);
     ]
 
@@ -431,10 +557,19 @@ let shutdown t =
       let remaining =
         List.filter
           (fun (s, pid) ->
-            match Unix.waitpid [ Unix.WNOHANG ] pid with
-            | 0, _ -> true
-            | _ -> s.pid <- None; false
-            | exception Unix.Unix_error _ -> s.pid <- None; false)
+            if s.adopted then
+              (* Not our child: waitpid raises ECHILD while the process
+                 is still draining — existence is the exit signal. *)
+              if process_alive pid then true
+              else begin
+                s.pid <- None;
+                false
+              end
+            else
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> true
+              | _ -> s.pid <- None; false
+              | exception Unix.Unix_error _ -> s.pid <- None; false)
           (live ())
       in
       if remaining = [] then ()
@@ -457,5 +592,10 @@ let shutdown t =
       (fun s ->
         s.phase <- Stopped;
         try Sys.remove s.socket with Sys_error _ -> ())
-      t.shards
+      t.shards;
+    (* The fleet is down by choice; the next pool must start fresh, not
+       chase recorded pids. *)
+    match t.config.state_file with
+    | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+    | None -> ()
   end

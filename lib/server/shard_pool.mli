@@ -49,11 +49,21 @@ type config = {
   grace_s : float;  (** shutdown: SIGTERM → this long → SIGKILL *)
   supervisor : Supervisor.policy;
   log : string -> unit;
+  state_file : string option;
+      (** persist which pid serves which shard socket (written
+          atomically on every spawn, adoption and death).  A pool
+          started with the same path after its owner crashed {e
+          reattaches} to recorded pids that are still alive and answer a
+          ping, instead of respawning the fleet — a router crash no
+          longer takes the shards down.  Removed on clean {!shutdown}.
+          Adopted processes are not the pool's children: exits are
+          detected by existence probes ([kill 0]) rather than waitpid,
+          and hangs by the health ping as usual. *)
 }
 
 (** 250 ms health period / 1 s ping timeout / 3 strikes, 5 s startup
     grace, 2 s stability, 30 ms waitpid poll, 5 s shutdown grace,
-    {!Supervisor.default_policy}, silent log. *)
+    {!Supervisor.default_policy}, silent log, no state file. *)
 val default_config :
   socket_for:(int -> string) -> spawn:spawn -> shards:int -> config
 
@@ -94,6 +104,10 @@ val kill : t -> int -> unit
 
 (** (total restarts-after-death, total health-check SIGKILLs). *)
 val counters : t -> int * int
+
+(** Shards reattached to a live process at {!start} (via [state_file])
+    instead of being spawned. *)
+val adoptions : t -> int
 
 (** Pool summary plus per-shard detail (state, pid, restarts,
     health_kills, breaker counters) — embedded in the router's

@@ -43,6 +43,19 @@ type config = {
       (** seeded shard-fault schedule ({!Chaos.shard_faults}: SIGKILL /
           SIGSTOP a random shard), paced while clients are in flight;
           sharded runs only *)
+  journal_dir : string option;
+      (** run the {e journaled} topology: the router (owning the shard
+          pool) lives in a child process, journaling every admitted
+          request to this directory and recording the fleet in a shard
+          state file there, so {!Chaos.Kill_router} faults can SIGKILL
+          it mid-flight and the next incarnation replays + reattaches.
+          Requires [shards >= 2]; shard-fault pacing is unavailable in
+          this mode (the pool lives in the child). *)
+  router_chaos : Chaos.config option;
+      (** seeded router-fault schedule ({!Chaos.router_faults}: SIGKILL
+          the router child, refork it, measure recovery); journaled runs
+          only *)
+  hedge : bool;  (** enable {!Router.default_hedge} hedged dispatch *)
   log : string -> unit;
 }
 
@@ -64,6 +77,19 @@ type report = {
   shard_hangs : int;  (** SIGSTOPs delivered by shard chaos *)
   shard_restarts : int;  (** pool restarts after shard deaths *)
   shard_health_kills : int;  (** hung shards reaped by the health check *)
+  router_kills : int;  (** router SIGKILLs delivered by router chaos *)
+  router_restarts : int;  (** router incarnations that came back up *)
+  replays : int;
+      (** journal entries recovered across restarts (completed entries
+          counted + incomplete entries re-dispatched), summed over every
+          post-kill incarnation *)
+  shard_reattaches : int;
+      (** shards the final incarnation's pool adopted (still-live
+          processes) instead of respawning *)
+  hedges_fired : int;  (** duplicate dispatches issued by hedging *)
+  hedge_wins : int;  (** requests answered by the duplicate *)
+  diverges : int;  (** cross-shard byte mismatches — must be 0 *)
+  recovery_ms : float;  (** mean SIGKILL → router-answers-again latency *)
 }
 
 val passed : report -> bool
@@ -71,6 +97,7 @@ val report_json : report -> Json.t
 val pp_report : report Fmt.t
 
 (** Start the server (or, with [shards >= 2], the shard pool and
-    router), run the soak, shut everything down, join (and reap) every
-    thread and process. *)
+    router; with [journal_dir] also set, the forked journaled router),
+    run the soak, shut everything down, join (and reap) every thread
+    and process. *)
 val run : config -> report

@@ -28,4 +28,5 @@ let () =
       ("cache", Test_cache.suite);
       ("gov", Test_gov.suite);
       ("server", Test_server.suite);
+      ("journal", Test_journal.suite);
     ]
